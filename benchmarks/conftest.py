@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make repeated-measurement frameworks run
+each expensive harness exactly once."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

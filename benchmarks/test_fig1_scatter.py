@@ -1,0 +1,47 @@
+"""Fig. 1 — warm vs strict-cold MRR@20 scatter on the Beauty benchmark.
+
+The paper's motivating figure: existing methods trade off the two axes
+(warm specialists in the lower right, cold specialists in the upper
+left), while Firzen sits on the Pareto frontier toward the upper right.
+"""
+
+from _shared import ALL_MODELS, get_dataset, get_trained_model, write_result
+from repro.eval import evaluate_model
+from repro.utils.tables import format_table
+
+
+def _run():
+    dataset = get_dataset("beauty")
+    points = {}
+    for name in ALL_MODELS:
+        model, _ = get_trained_model("beauty", name)
+        result = evaluate_model(model, dataset.split)
+        points[name] = (100 * result.warm.mrr, 100 * result.cold.mrr)
+    return points
+
+
+def test_fig1_scatter(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [{"Method": name, "Warm M@20": round(w, 2),
+             "Cold M@20": round(c, 2)}
+            for name, (w, c) in sorted(points.items())]
+    write_result("fig1_scatter.txt",
+                 format_table(rows, "Fig 1: warm vs cold MRR@20"))
+
+    firzen_warm, firzen_cold = points["Firzen"]
+    # No method Pareto-dominates Firzen.
+    for name, (warm, cold) in points.items():
+        if name == "Firzen":
+            continue
+        dominates = warm > firzen_warm and cold > firzen_cold
+        assert not dominates, f"{name} Pareto-dominates Firzen"
+
+    # Firzen has the best cold MRR overall (the figure's headline).
+    assert firzen_cold == max(c for _, c in points.values())
+
+    # The trade-off exists among baselines: the best-warm baseline is not
+    # the best-cold baseline.
+    baselines = {n: p for n, p in points.items() if n != "Firzen"}
+    best_warm = max(baselines, key=lambda n: baselines[n][0])
+    best_cold = max(baselines, key=lambda n: baselines[n][1])
+    assert best_warm != best_cold

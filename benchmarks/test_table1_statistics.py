@@ -1,0 +1,31 @@
+"""Table I — statistics of the four strict cold-start benchmarks."""
+
+from _shared import get_dataset, render, write_result
+
+
+def test_table1_statistics(benchmark):
+    def run():
+        rows = []
+        for name in ("beauty", "cell_phones", "clothing", "weixin"):
+            rows.append(get_dataset(name).statistics().as_row())
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render(rows, "Table I: dataset statistics")
+    write_result("table1_statistics.txt", text)
+
+    # Shape checks mirroring the paper's Table I relationships.
+    by_name = {row["Dataset"]: row for row in rows}
+    # Weixin is the densest per item; Clothing the sparsest Amazon subset.
+    assert by_name["weixin-sports"]["#Avg. Inter. of Items"] == max(
+        row["#Avg. Inter. of Items"] for row in rows)
+    assert by_name["amazon-clothing"]["#Avg. Inter. of Items"] == min(
+        by_name[f"amazon-{s}"]["#Avg. Inter. of Items"]
+        for s in ("beauty", "cell_phones", "clothing"))
+    # 20% strict cold split everywhere.
+    for row in rows:
+        ratio = row["#Strict cold-start items"] / row["#Items"]
+        assert 0.15 <= ratio <= 0.25
+    # Weixin has the widest relation vocabulary (WikiSports-style).
+    assert by_name["weixin-sports"]["#Relations"] == max(
+        row["#Relations"] for row in rows)

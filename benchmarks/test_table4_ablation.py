@@ -1,0 +1,67 @@
+"""Table IV — component ablation of Firzen on the Beauty benchmark.
+
+Variants: w/o BA (behavior-aware), w/o KA (knowledge-aware), w/o MA
+(modality-aware), w/o MS (MSHGL), and the full model. Paper findings to
+reproduce: full model best HM; removing MS hurts cold the most; removing
+BA hurts warm.
+"""
+
+import numpy as np
+
+from _shared import (bench_train_config, get_dataset, render, write_result)
+from repro.core import FirzenConfig, FirzenModel
+from repro.eval import evaluate_model
+from repro.train import train_model
+
+VARIANTS = [
+    ("w/o BA", {"use_behavior": False}),
+    ("w/o KA", {"use_knowledge": False}),
+    ("w/o MA", {"use_modality": False}),
+    ("w/o MS", {"use_mshgl": False}),
+    ("full", {}),
+]
+
+
+def _run_variants():
+    dataset = get_dataset("beauty")
+    rows = []
+    results = {}
+    for label, overrides in VARIANTS:
+        config = FirzenConfig(**overrides)
+        model = FirzenModel(dataset, 32, np.random.default_rng(0),
+                            config=config)
+        train_model(model, dataset, bench_train_config())
+        result = evaluate_model(model, dataset.split)
+        results[label] = result
+        for setting, metrics in (("Cold", result.cold),
+                                 ("Warm", result.warm), ("HM", result.hm)):
+            row = {"Variant": label, "Setting": setting}
+            row.update(metrics.as_percent_row())
+            rows.append(row)
+    return rows, results
+
+
+def test_table4_ablation(benchmark):
+    rows, results = benchmark.pedantic(_run_variants, rounds=1, iterations=1)
+    write_result("table4_ablation.txt",
+                 render(rows, "Table IV: Firzen component ablation"))
+
+    full = results["full"]
+    # Full model has the best HM recall among all variants.
+    for label, result in results.items():
+        if label != "full":
+            assert full.hm.recall >= result.hm.recall * 0.98, label
+
+    # Removing MS is the most damaging for the cold scenario.
+    ms_drop = full.cold.recall - results["w/o MS"].cold.recall
+    for label in ("w/o KA", "w/o MA"):
+        assert ms_drop >= full.cold.recall - results[label].cold.recall
+
+    # Removing BA hurts the warm scenario.
+    assert results["w/o BA"].warm.recall < full.warm.recall
+
+    # Removing KA or MA degrades cold but leaves warm roughly intact
+    # (within 10% relative).
+    for label in ("w/o KA", "w/o MA"):
+        assert results[label].cold.recall < full.cold.recall
+        assert results[label].warm.recall > 0.9 * full.warm.recall

@@ -1,0 +1,69 @@
+"""Table VI — normal cold-start transfer.
+
+The known half of cold-test interactions becomes available at inference
+(``adapt_to_interactions``); the unknown half is evaluated. Paper shapes:
+Firzen stays best; graph-based models (LightGCN, MMSSL) recover a lot of
+performance relative to their strict cold numbers; BPR/CKE gain little.
+"""
+
+from _shared import get_dataset, get_trained_model, render, write_result
+from repro.eval import evaluate_normal_cold, evaluate_scenario
+
+MODELS = ["BPR", "LightGCN", "SGL", "SimpleX", "CKE", "KGAT", "KGCN",
+          "KGNNLS", "VBPR", "DRAGON", "BM3", "MMSSL", "DropoutNet",
+          "CLCRec", "MKGAT", "Firzen"]
+
+
+def _clone_trained(name, dataset):
+    """Fresh model instance carrying a cached trained model's weights, so
+    graph mutations never leak into the shared cache."""
+    from repro.baselines import create_model
+    trained, _ = get_trained_model("beauty", name)
+    clone = create_model(name, dataset, embedding_dim=32, seed=0)
+    clone.load_state_dict(trained.state_dict())
+    if hasattr(trained, "fusion"):   # Firzen's beta buffers
+        clone.fusion.beta = dict(trained.fusion.beta)
+    clone.eval()
+    return clone
+
+
+def _run():
+    dataset = get_dataset("beauty")
+    rows = []
+    scores = {}
+    for name in MODELS:
+        model = _clone_trained(name, dataset)
+        strict = evaluate_scenario(model, dataset.split, "cold_test_unknown")
+        model.adapt_to_interactions(dataset.split.cold_test_known)
+        normal = evaluate_normal_cold(model, dataset.split)
+        rows.append({
+            "Method": name,
+            "R@20": round(100 * normal.recall, 2),
+            "M@20": round(100 * normal.mrr, 2),
+            "N@20": round(100 * normal.ndcg, 2),
+            "H@20": round(100 * normal.hit, 2),
+            "P@20": round(100 * normal.precision, 2),
+            "strict R@20": round(100 * strict.recall, 2),
+        })
+        scores[name] = (strict.recall, normal.recall)
+    return rows, scores
+
+
+def test_table6_normal_cold(benchmark):
+    rows, scores = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("table6_normal_cold.txt",
+                 render(rows, "Table VI: normal cold-start"))
+
+    normal = {name: n for name, (_, n) in scores.items()}
+    # Firzen achieves the best normal cold-start recall.
+    assert normal["Firzen"] == max(normal.values())
+
+    # Graph-based CF recovers substantially once links are available:
+    # LightGCN's normal-cold recall clearly beats its strict-cold recall.
+    strict_lgcn, normal_lgcn = scores["LightGCN"]
+    assert normal_lgcn > strict_lgcn * 1.3
+
+    # MMSSL also gains (the paper's observation about methods that
+    # incorporate the interaction graph).
+    strict_mmssl, normal_mmssl = scores["MMSSL"]
+    assert normal_mmssl > strict_mmssl

@@ -1,0 +1,44 @@
+"""Table VII — training and inference time vs consumed feature sets.
+
+Rows: BA / BA+KA / BA+KA+VA / BA+KA+VA+TA. Paper shapes: adding KA
+dominates the training-time increase (TransR + attention + adversarial
+objectives); adding the modalities adds little inference latency.
+"""
+
+from _shared import get_dataset, write_result
+from repro.analysis.timing import measure_feature_sets
+from repro.train import TrainConfig
+from repro.utils.tables import format_table
+
+
+def test_table7_timing(benchmark):
+    dataset = get_dataset("beauty")
+    rows = benchmark.pedantic(
+        lambda: measure_feature_sets(
+            dataset, TrainConfig(epochs=3, eval_every=3, batch_size=512)),
+        rounds=1, iterations=1)
+    table = [{
+        "Features": row.label,
+        "Training (s)": round(row.train_seconds, 2),
+        "Cold infer (ms/user)": round(row.cold_inference_ms_per_user, 3),
+        "Warm infer (ms/user)": round(row.warm_inference_ms_per_user, 3),
+    } for row in rows]
+    write_result("table7_timing.txt",
+                 format_table(table, "Table VII: training/inference time"))
+
+    by_label = {row.label: row for row in rows}
+    # KA adds the largest training-time increment.
+    ka_increase = (by_label["BA+KA"].train_seconds
+                   - by_label["BA"].train_seconds)
+    va_increase = (by_label["BA+KA+VA"].train_seconds
+                   - by_label["BA+KA"].train_seconds)
+    ta_increase = (by_label["BA+KA+VA+TA"].train_seconds
+                   - by_label["BA+KA+VA"].train_seconds)
+    assert ka_increase > 0
+    assert ka_increase > va_increase
+    assert ka_increase > ta_increase
+
+    # Modalities bring only modest inference latency: the full model's
+    # warm inference stays within 5x of the BA+KA configuration.
+    assert by_label["BA+KA+VA+TA"].warm_inference_ms_per_user \
+        <= 5.0 * max(by_label["BA+KA"].warm_inference_ms_per_user, 1e-6)

@@ -1,0 +1,80 @@
+"""Building a custom benchmark world and inspecting the frozen graphs.
+
+Shows the full pipeline the library exposes: configure a synthetic world,
+apply the 5-core filter and strict cold-start split, build the KG, then
+inspect the frozen structures Firzen trains on — the collaborative KG,
+the modality-specific item-item graphs (with the cold->warm mask) and the
+user-user co-occurrence graph.
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.data import build_dataset
+from repro.data.world import WorldConfig
+from repro.graphs import (UserUserGraph, build_collaborative_kg,
+                          build_item_item_graphs)
+from repro.graphs.interaction import InteractionGraph
+
+
+def main() -> None:
+    # A custom world: 10 taste clusters, very informative text, almost
+    # uninformative images.
+    config = WorldConfig(
+        num_users=300,
+        num_items=200,
+        num_clusters=10,
+        interactions_per_user_mean=10.0,
+        text_noise=0.2,
+        image_noise=1.5,
+        seed=42,
+    )
+    dataset = build_dataset("custom", config)
+    stats = dataset.statistics()
+    print(f"dataset: {stats.num_users} users, {stats.num_items} items, "
+          f"{stats.num_interactions} interactions, "
+          f"{stats.num_triplets} KG triplets")
+    print(f"strict cold-start items: {stats.num_cold_items}")
+
+    # Frozen structures.
+    graph = InteractionGraph(dataset.num_users, dataset.num_items,
+                             dataset.split.train)
+    print(f"\ninteraction graph: {graph.adjacency.nnz} edges; "
+          f"cold items isolated: "
+          f"{(graph.item_degree()[dataset.split.cold_items] == 0).all()}")
+
+    ckg = build_collaborative_kg(dataset.kg, dataset.split.train,
+                                 dataset.num_users)
+    print(f"collaborative KG: {ckg.num_nodes} nodes, "
+          f"{len(ckg.triplets)} triplets, "
+          f"{ckg.num_relations} relations (incl. Interact)")
+
+    item_graphs = build_item_item_graphs(
+        dataset.features, top_k=10, warm_items=dataset.split.warm_items,
+        is_cold=dataset.split.is_cold)
+    for modality, g in item_graphs.items():
+        train_edges = g.adjacency("train").nnz
+        infer_edges = g.adjacency("infer").nnz
+        print(f"item-item[{modality}]: {train_edges} train edges -> "
+              f"{infer_edges} inference edges (cold rows added, "
+              f"cold->warm masked)")
+
+    user_graph = UserUserGraph(graph.user_item_matrix, top_k=10)
+    print(f"user-user graph: {user_graph.topk_counts.nnz} edges")
+
+    # The cold-start transfer signal: text features of same-cluster items
+    # are similar, so the kNN graph connects cold items to the right warm
+    # neighborhoods.
+    text = item_graphs["text"]
+    infer = text.adjacency("infer").tocoo()
+    clusters = dataset.world.item_clusters
+    same = np.mean([clusters[i] == clusters[j]
+                    for i, j in zip(infer.row, infer.col)])
+    print(f"\nfraction of text-kNN edges within a taste cluster: {same:.2f}")
+
+
+if __name__ == "__main__":
+    main()

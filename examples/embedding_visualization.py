@@ -1,0 +1,55 @@
+"""Fig. 8 demo: t-SNE of cold vs warm item embeddings for two models.
+
+Trains LightGCN and Firzen on Beauty, projects their final item
+embeddings to 2-D with the from-scratch t-SNE, and prints the mixing
+statistics: LightGCN's strict cold embeddings form a separate blob (they
+never left initialization), while Firzen's overlap the warm cloud.
+
+Run with::
+
+    python examples/embedding_visualization.py
+"""
+
+from repro.analysis.tsne import (centroid_distance_ratio,
+                                 distribution_overlap, tsne)
+from repro.baselines import create_model
+from repro.data import load_amazon
+from repro.train import TrainConfig, train_model
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = load_amazon("beauty")
+    cold = dataset.split.is_cold
+    rows = []
+    for name in ("LightGCN", "Firzen"):
+        print(f"training {name} ...")
+        model = create_model(name, dataset, embedding_dim=32, seed=0)
+        train_model(model, dataset,
+                    TrainConfig(epochs=12, eval_every=4, batch_size=512,
+                                learning_rate=0.05))
+        print(f"running t-SNE on {name} item embeddings ...")
+        projected = tsne(model.item_embeddings(), num_iters=250,
+                         perplexity=15.0, seed=0).embedding
+        rows.append({
+            "Method": name,
+            "overlap (higher=mixed)": round(
+                distribution_overlap(projected[cold], projected[~cold]), 3),
+            "centroid separation": round(
+                centroid_distance_ratio(projected[cold],
+                                        projected[~cold]), 3),
+        })
+        # Dump coordinates for external plotting.
+        out = f"tsne_{name.lower()}.csv"
+        with open(out, "w") as handle:
+            handle.write("x,y,is_cold\n")
+            for (x, y), flag in zip(projected, cold):
+                handle.write(f"{x:.4f},{y:.4f},{int(flag)}\n")
+        print(f"wrote {out}")
+
+    print()
+    print(format_table(rows, title="Cold/warm embedding mixing (Fig 8)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Robustness demo: how KG noise affects Firzen vs KGAT (paper Table V).
+
+Injects 20% outlier / duplicate / discrepancy triplets into the Beauty
+knowledge graph, retrains, and reports the relative degradation of each
+model's cold-start MRR.
+
+Run with::
+
+    python examples/kg_noise_robustness.py
+"""
+
+import numpy as np
+
+from repro.baselines import create_model
+from repro.data import load_amazon
+from repro.eval import evaluate_model
+from repro.noise import NOISE_KINDS, average_decrease, inject_noise
+from repro.train import TrainConfig, train_model
+from repro.utils.tables import format_table
+
+MODELS = ["KGAT", "Firzen"]
+
+
+def train_and_eval(name, dataset):
+    model = create_model(name, dataset, embedding_dim=32, seed=0)
+    train_model(model, dataset,
+                TrainConfig(epochs=10, eval_every=5, batch_size=512,
+                            learning_rate=0.05))
+    return evaluate_model(model, dataset.split)
+
+
+def main() -> None:
+    dataset = load_amazon("beauty")
+    print("training on the clean KG ...")
+    clean = {name: train_and_eval(name, dataset) for name in MODELS}
+
+    rows = []
+    for kind in NOISE_KINDS:
+        noisy_kg = inject_noise(dataset.kg, kind, 0.2,
+                                np.random.default_rng(13))
+        noisy_dataset = dataset.with_kg(noisy_kg)
+        print(f"training with 20% {kind} noise "
+              f"({noisy_kg.num_triplets} triplets) ...")
+        for name in MODELS:
+            result = train_and_eval(name, noisy_dataset)
+            rows.append({
+                "Noise": kind,
+                "Method": name,
+                "Cold M@20": round(100 * result.cold.mrr, 2),
+                "Avg.Dec%": round(average_decrease(
+                    clean[name].cold.mrr, result.cold.mrr), 1),
+            })
+    print()
+    print(format_table(rows, title="KG noise robustness (cold scenario)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Normal cold-start transfer (paper Table VI).
+
+Strict cold-start means *no* interactions exist for an item even at test
+time. The normal cold-start protocol relaxes this: half of each cold
+item's test interactions become *known* at inference. This example shows
+how different model families exploit the newly-known links:
+
+* BPR cannot (no interaction graph at inference) — barely moves;
+* LightGCN rebuilds its propagation graph — recovers massively;
+* Firzen rebuilds every frozen structure — stays best.
+
+Run with::
+
+    python examples/normal_cold_start.py
+"""
+
+from repro.baselines import create_model
+from repro.data import load_amazon
+from repro.eval import evaluate_normal_cold, evaluate_scenario
+from repro.train import TrainConfig, train_model
+from repro.utils.tables import format_table
+
+MODELS = ["BPR", "LightGCN", "Firzen"]
+
+
+def main() -> None:
+    dataset = load_amazon("beauty")
+    config = TrainConfig(epochs=12, eval_every=4, batch_size=512,
+                         learning_rate=0.05)
+    rows = []
+    for name in MODELS:
+        print(f"training {name} ...")
+        model = create_model(name, dataset, embedding_dim=32, seed=0)
+        train_model(model, dataset, config)
+
+        # Strict cold-start: evaluate the unknown half with nothing known.
+        strict = evaluate_scenario(model, dataset.split,
+                                   "cold_test_unknown")
+        # Normal cold-start: absorb the known half, then evaluate.
+        model.adapt_to_interactions(dataset.split.cold_test_known)
+        normal = evaluate_normal_cold(model, dataset.split)
+        rows.append({
+            "Method": name,
+            "strict R@20": round(100 * strict.recall, 2),
+            "normal R@20": round(100 * normal.recall, 2),
+            "gain": round(100 * (normal.recall - strict.recall), 2),
+        })
+    print()
+    print(format_table(rows, title="Strict vs normal cold-start (Table VI)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml because the offline environment lacks the
+``wheel`` package that PEP 660 editable installs require; ``python setup.py
+develop`` and ``pip install -e . --no-build-isolation`` both work with it.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

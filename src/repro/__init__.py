@@ -1,0 +1,27 @@
+"""Firzen (ICDE 2024) reproduction.
+
+A from-scratch NumPy implementation of "Firzen: Firing Strict Cold-Start
+Items with Frozen Heterogeneous and Homogeneous Graphs for Recommendation"
+— the model, fifteen baselines across five families, four synthetic
+strict cold-start benchmarks, and harnesses regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.data import load_amazon
+    from repro.baselines import create_model
+    from repro.train import TrainConfig, train_model
+    from repro.eval import evaluate_model
+
+    dataset = load_amazon("beauty")
+    model = create_model("Firzen", dataset)
+    train_model(model, dataset, TrainConfig(epochs=16))
+    print(evaluate_model(model, dataset.split).hm.as_percent_row())
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, autograd, baselines, core, data, eval, graphs, noise, train
+
+__all__ = ["analysis", "autograd", "baselines", "core", "data", "eval",
+           "graphs", "noise", "train", "__version__"]

@@ -1,0 +1,26 @@
+"""Analysis utilities: t-SNE (Fig. 8), timing (Table VII), case study
+(Fig. 7)."""
+
+from .case_study import SimilarItems, run_case_study, similar_items_under_subset
+from .embedding_stats import (ColdWarmStats, alignment, cold_warm_stats,
+                              uniformity, user_item_alignment)
+from .timing import TimingRow, measure_feature_sets
+from .tsne import (TSNEResult, centroid_distance_ratio, distribution_overlap,
+                   tsne)
+
+__all__ = [
+    "ColdWarmStats",
+    "alignment",
+    "cold_warm_stats",
+    "uniformity",
+    "user_item_alignment",
+    "SimilarItems",
+    "run_case_study",
+    "similar_items_under_subset",
+    "TimingRow",
+    "measure_feature_sets",
+    "TSNEResult",
+    "tsne",
+    "distribution_overlap",
+    "centroid_distance_ratio",
+]

@@ -1,0 +1,82 @@
+"""Training / inference timing harness (paper Table VII).
+
+Measures wall-clock training time and per-user inference latency for
+Firzen variants that consume increasing feature sets: BA only, +KA, +VA,
++TA — the exact rows of Table VII.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import FirzenConfig
+from ..core.firzen import FirzenModel
+from ..data.datasets import RecDataset
+from ..train.trainer import TrainConfig, train_model
+
+
+@dataclass
+class TimingRow:
+    """One Table VII row."""
+
+    label: str
+    train_seconds: float
+    cold_inference_ms_per_user: float
+    warm_inference_ms_per_user: float
+
+
+def _inference_ms_per_user(model: FirzenModel, users: np.ndarray,
+                           repeats: int = 3) -> float:
+    """Average per-user latency of a full scoring pass (repr + ranking)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        model.invalidate()
+        scores = model.score_users(users)
+        np.argsort(-scores, axis=1)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return 1000.0 * best / max(len(users), 1)
+
+
+def variant_config(use_knowledge: bool, modalities: tuple) -> FirzenConfig:
+    """Firzen config for one feature-set row of Table VII."""
+    return FirzenConfig(
+        use_knowledge=use_knowledge,
+        # keep MSHGL only when at least one modality graph exists
+        use_mshgl=bool(modalities),
+    )
+
+
+def measure_feature_sets(dataset: RecDataset,
+                         train_config: TrainConfig | None = None,
+                         seed: int = 0) -> list[TimingRow]:
+    """Run the four Table VII rows: BA / +KA / +KA+VA / +KA+VA+TA."""
+    rows = []
+    variants = [
+        ("BA", False, ()),
+        ("BA+KA", True, ()),
+        ("BA+KA+VA", True, ("image",)),
+        ("BA+KA+VA+TA", True, ("image", "text")),
+    ]
+    train_config = train_config or TrainConfig(epochs=4, eval_every=4)
+    cold_users = np.unique(dataset.split.cold_test[:, 0])[:50]
+    warm_users = np.unique(dataset.split.warm_test[:, 0])[:50]
+    for label, use_kg, modalities in variants:
+        config = variant_config(use_kg, modalities)
+        model = FirzenModel(dataset, config.embedding_dim,
+                            np.random.default_rng(seed), config=config,
+                            modalities=modalities)
+        result = train_model(model, dataset, train_config)
+        rows.append(TimingRow(
+            label=label,
+            train_seconds=result.train_seconds,
+            cold_inference_ms_per_user=_inference_ms_per_user(
+                model, cold_users),
+            warm_inference_ms_per_user=_inference_ms_per_user(
+                model, warm_users),
+        ))
+    return rows

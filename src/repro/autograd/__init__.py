@@ -1,0 +1,43 @@
+"""Reverse-mode autodiff engine (the reproduction's PyTorch substitute)."""
+
+from .functional import (
+    bpr_loss,
+    concat,
+    cosine_similarity,
+    dropout,
+    embedding_l2,
+    infonce,
+    l2_regularization,
+    mean_stack,
+    rowwise_dot,
+    softmax_cross_entropy,
+    stack,
+)
+from .sparse import (
+    build_bipartite_adjacency,
+    row_normalize,
+    row_softmax,
+    sparse_matmul,
+    symmetric_normalize,
+)
+from .tensor import Tensor
+
+__all__ = [
+    "Tensor",
+    "bpr_loss",
+    "concat",
+    "cosine_similarity",
+    "dropout",
+    "embedding_l2",
+    "infonce",
+    "l2_regularization",
+    "mean_stack",
+    "rowwise_dot",
+    "softmax_cross_entropy",
+    "stack",
+    "sparse_matmul",
+    "symmetric_normalize",
+    "row_normalize",
+    "row_softmax",
+    "build_bipartite_adjacency",
+]

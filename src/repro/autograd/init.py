@@ -1,0 +1,41 @@
+"""Parameter initializers mirroring the ones the paper uses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def xavier_uniform(rng: np.random.Generator, *shape,
+                   gain: float = 1.0) -> Tensor:
+    """Xavier/Glorot uniform init (the paper initializes all ID and entity
+    embeddings this way)."""
+    if len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def xavier_normal(rng: np.random.Generator, *shape,
+                  gain: float = 1.0) -> Tensor:
+    if len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def normal(rng: np.random.Generator, *shape, std: float = 0.01) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def zeros(*shape) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def ones(*shape) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=True)

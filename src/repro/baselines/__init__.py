@@ -1,0 +1,29 @@
+"""Baseline recommenders: the paper's five comparison families."""
+
+from .base import Recommender
+from .bm3 import BM3Model
+from .bpr import BPRModel
+from .cke import CKEModel
+from .clcrec import CLCRecModel
+from .dragon import DragonModel
+from .dropoutnet import DropoutNetModel
+from .kgat import KGATModel
+from .kgcn import KGCNModel
+from .kgnnls import KGNNLSModel
+from .lightgcn import LightGCNModel
+from .mkgat import MKGATModel
+from .mmssl import MMSSLModel
+from .registry import (MODEL_FAMILIES, available_models, create_model,
+                       model_family)
+from .sgl import SGLModel
+from .simplex import SimpleXModel
+from .vbpr import VBPRModel
+
+__all__ = [
+    "Recommender",
+    "BPRModel", "LightGCNModel", "SGLModel", "SimpleXModel",
+    "CKEModel", "KGATModel", "KGCNModel", "KGNNLSModel",
+    "VBPRModel", "DragonModel", "BM3Model", "MMSSLModel",
+    "DropoutNetModel", "CLCRecModel", "MKGATModel",
+    "MODEL_FAMILIES", "available_models", "create_model", "model_family",
+]

@@ -1,0 +1,72 @@
+"""CKE (Zhang et al., 2016): collaborative knowledge base embedding.
+
+Item representation = ID embedding + structural knowledge embedding
+learned with TransR over the item KG. The KG objective is optimized
+alternately with BPR (mirroring the paper's training scheme).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import bpr_loss, embedding_l2, rowwise_dot
+from ..autograd.nn import Embedding
+from ..autograd.optim import Adam
+from ..components.transr import TransRScorer, transr_loss
+from ..data.datasets import RecDataset
+from ..graphs.ckg import sample_kg_negatives
+from .base import Recommender
+
+
+class CKEModel(Recommender):
+    name = "CKE"
+    uses_kg = True
+
+    def __init__(self, dataset: RecDataset, embedding_dim: int = 32,
+                 rng: np.random.Generator | None = None,
+                 reg_weight: float = 1e-4, kg_batches: int = 4,
+                 kg_batch_size: int = 512, kg_lr: float = 0.01):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(dataset, embedding_dim, rng)
+        self.reg_weight = reg_weight
+        self.kg_batches = kg_batches
+        self.kg_batch_size = kg_batch_size
+        self.user_emb = Embedding(self.num_users, embedding_dim, rng)
+        self.item_emb = Embedding(self.num_items, embedding_dim, rng)
+        self.entity_emb = Embedding(dataset.kg.num_entities, embedding_dim,
+                                    rng)
+        self.transr = TransRScorer(dataset.kg.num_relations, embedding_dim,
+                                   embedding_dim, rng)
+        self._kg_rng = np.random.default_rng(int(rng.integers(0, 2 ** 31)))
+        self._kg_optimizer = Adam(
+            self.entity_emb.parameters() + self.transr.parameters(),
+            lr=kg_lr)
+
+    def _item_repr_rows(self, items):
+        # item entity ids coincide with item ids (alignment).
+        return self.item_emb(items) + self.entity_emb(items)
+
+    def loss(self, users, pos_items, neg_items):
+        u = self.user_emb(users)
+        pos = self._item_repr_rows(pos_items)
+        neg = self._item_repr_rows(neg_items)
+        reg = embedding_l2([u, self.item_emb(pos_items),
+                            self.item_emb(neg_items)])
+        return bpr_loss(rowwise_dot(u, pos), rowwise_dot(u, neg)) \
+            + self.reg_weight * reg
+
+    def extra_step(self):
+        """Alternating TransR optimization over the item KG."""
+        for _ in range(self.kg_batches):
+            heads, relations, pos_t, neg_t = sample_kg_negatives(
+                self.dataset.kg, self.kg_batch_size, self._kg_rng)
+            self._kg_optimizer.zero_grad()
+            loss = transr_loss(self.transr, self.entity_emb.weight,
+                               heads, relations, pos_t, neg_t)
+            loss.backward()
+            self._kg_optimizer.step()
+
+    def compute_representations(self):
+        items = self.item_emb.weight.data + \
+            self.entity_emb.weight.data[:self.num_items]
+        return self.user_emb.weight.data.copy(), items.copy()

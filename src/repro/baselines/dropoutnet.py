@@ -1,0 +1,91 @@
+"""DropoutNet (Volkovs et al., 2017) on a LightGCN backbone.
+
+Treats cold-start as missing behavioral input: during training, the
+behavior-based part of a sampled subset of items (and users) is dropped,
+forcing a transform network to reconstruct useful representations from
+content alone. At inference, strict cold-start items — whose behavioral
+part is genuinely missing — go through the same pathway.
+
+Per the paper's protocol, cold-start models use LightGCN as the backbone
+and the multi-modal features as content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, bpr_loss, concat, embedding_l2, rowwise_dot
+from ..autograd.nn import Embedding, Linear
+from ..components.lightgcn import lightgcn_propagate
+from ..data.datasets import RecDataset
+from ..graphs.interaction import InteractionGraph
+from .base import Recommender
+
+
+class DropoutNetModel(Recommender):
+    name = "DropoutNet"
+    uses_modalities = True
+
+    def __init__(self, dataset: RecDataset, embedding_dim: int = 32,
+                 rng: np.random.Generator | None = None,
+                 num_layers: int = 2, dropout_rate: float = 0.3,
+                 reg_weight: float = 1e-4):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(dataset, embedding_dim, rng)
+        self.num_layers = num_layers
+        self.dropout_rate = dropout_rate
+        self.reg_weight = reg_weight
+        self.graph = InteractionGraph(
+            self.num_users, self.num_items, dataset.split.train)
+        self.user_emb = Embedding(self.num_users, embedding_dim, rng)
+        self.item_emb = Embedding(self.num_items, embedding_dim, rng)
+        content = np.concatenate(
+            [dataset.features[m] for m in dataset.modalities], axis=1)
+        self._content = Tensor(content)
+        # Transform nets: behavior + content -> final representation.
+        self.item_transform = Linear(
+            embedding_dim + content.shape[1], embedding_dim, rng)
+        self.user_transform = Linear(embedding_dim, embedding_dim, rng)
+        self._drop_rng = np.random.default_rng(
+            int(self.rng.integers(0, 2 ** 31)))
+
+    def _item_repr(self, behavior: Tensor, drop_mask=None) -> Tensor:
+        if drop_mask is not None:
+            behavior = behavior * Tensor(drop_mask.reshape(-1, 1))
+        joint = concat([behavior, self._content], axis=1)
+        return self.item_transform(joint).tanh()
+
+    def adapt_to_interactions(self, extra):
+        self.graph = self.graph.with_extra_interactions(extra)
+        self.invalidate()
+
+    def _forward(self, training: bool):
+        user_out, item_out = lightgcn_propagate(
+            self.graph.norm_adjacency, self.user_emb.weight,
+            self.item_emb.weight, self.num_layers)
+        if training:
+            # Behavior dropout: simulate cold items during training.
+            drop = (self._drop_rng.random(self.num_items)
+                    >= self.dropout_rate).astype(np.float64)
+        else:
+            # Real missingness: items without any observed link have no
+            # usable behavior (strict cold items, unless links were added
+            # by the normal cold-start protocol).
+            drop = (self.graph.item_degree() > 0).astype(np.float64)
+        items = self._item_repr(item_out, drop)
+        users = self.user_transform(user_out).tanh()
+        return users, items
+
+    def loss(self, users, pos_items, neg_items):
+        user_repr, item_repr = self._forward(training=True)
+        u = user_repr.take_rows(users)
+        pos = item_repr.take_rows(pos_items)
+        neg = item_repr.take_rows(neg_items)
+        reg = embedding_l2([self.user_emb(users), self.item_emb(pos_items),
+                            self.item_emb(neg_items)])
+        return bpr_loss(rowwise_dot(u, pos), rowwise_dot(u, neg)) \
+            + self.reg_weight * reg
+
+    def compute_representations(self):
+        users, items = self._forward(training=False)
+        return users.data.copy(), items.data.copy()

@@ -1,0 +1,95 @@
+"""LATTICE (Zhang et al., 2021): mining latent item-item structures.
+
+The direct ancestor of Firzen's MSHGL stage (paper section III-B cites
+it): per-modality item-item graphs built from *learned* feature
+projections and re-mined during training, combined with LightGCN over
+the interaction graph. Included as an extra baseline because Firzen's
+"frozen" design decision is defined against LATTICE's dynamic graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, bpr_loss, embedding_l2, rowwise_dot
+from ..autograd.nn import Embedding, Linear
+from ..autograd.sparse import sparse_matmul
+from ..components.lightgcn import lightgcn_propagate
+from ..data.datasets import RecDataset
+from ..graphs.interaction import InteractionGraph
+from ..graphs.item_item import build_item_item_graphs
+from .base import Recommender
+
+
+class LatticeModel(Recommender):
+    name = "LATTICE"
+    uses_modalities = True
+
+    def __init__(self, dataset: RecDataset, embedding_dim: int = 32,
+                 rng: np.random.Generator | None = None,
+                 num_layers: int = 2, item_topk: int = 10,
+                 graph_refresh_every: int = 2, mix_weight: float = 0.5,
+                 reg_weight: float = 1e-4):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(dataset, embedding_dim, rng)
+        self.num_layers = num_layers
+        self.item_topk = item_topk
+        self.graph_refresh_every = graph_refresh_every
+        self.mix_weight = mix_weight
+        self.reg_weight = reg_weight
+        self.graph = InteractionGraph(
+            self.num_users, self.num_items, dataset.split.train)
+        self.user_emb = Embedding(self.num_users, embedding_dim, rng)
+        self.item_emb = Embedding(self.num_items, embedding_dim, rng)
+        self.projectors = {
+            m: Linear(dataset.feature_dim(m), embedding_dim, rng)
+            for m in dataset.modalities
+        }
+        self._features = {m: Tensor(dataset.features[m])
+                          for m in dataset.modalities}
+        # Initial graphs from raw features; re-mined during training from
+        # the learned projections (the LATTICE mechanism).
+        self.item_graphs = build_item_item_graphs(
+            dataset.features, item_topk, dataset.split.warm_items,
+            dataset.split.is_cold)
+
+    def _mine_graphs(self) -> None:
+        """Rebuild the latent item-item graphs from learned projections."""
+        learned = {
+            m: self.projectors[m](self._features[m]).data.copy()
+            for m in self.dataset.modalities
+        }
+        self.item_graphs = build_item_item_graphs(
+            learned, self.item_topk, self.dataset.split.warm_items,
+            self.dataset.split.is_cold)
+
+    def on_epoch_end(self, epoch: int) -> None:
+        if (epoch + 1) % self.graph_refresh_every == 0:
+            self._mine_graphs()
+
+    def _forward(self, mode: str):
+        user_out, item_out = lightgcn_propagate(
+            self.graph.norm_adjacency, self.user_emb.weight,
+            self.item_emb.weight, self.num_layers)
+        homogeneous = None
+        for modality in self.dataset.modalities:
+            adjacency = self.item_graphs[modality].adjacency(mode)
+            part = sparse_matmul(adjacency, item_out)
+            homogeneous = part if homogeneous is None else \
+                homogeneous + part
+        homogeneous = homogeneous * (1.0 / len(self.dataset.modalities))
+        return user_out, item_out + self.mix_weight * homogeneous
+
+    def loss(self, users, pos_items, neg_items):
+        user_out, items = self._forward("train")
+        u = user_out.take_rows(users)
+        pos = items.take_rows(pos_items)
+        neg = items.take_rows(neg_items)
+        reg = embedding_l2([self.user_emb(users), self.item_emb(pos_items),
+                            self.item_emb(neg_items)])
+        return bpr_loss(rowwise_dot(u, pos), rowwise_dot(u, neg)) \
+            + self.reg_weight * reg
+
+    def compute_representations(self):
+        user_out, items = self._forward("infer")
+        return user_out.data.copy(), items.data.copy()

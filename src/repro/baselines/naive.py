@@ -1,0 +1,61 @@
+"""Sanity-floor recommenders: Random and Popularity.
+
+Not part of the paper's roster, but any production comparison needs the
+chance floor (Random — what recall@20 does the candidate-pool size alone
+buy?) and the no-personalization floor (MostPopular). The benchmark
+harnesses use them to contextualize absolute numbers on the scaled-down
+synthetic worlds, where the chance floor is far higher than on Amazon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.datasets import RecDataset
+from .base import Recommender
+
+
+class RandomModel(Recommender):
+    """Scores are a fixed random matrix; the chance-level ranker."""
+
+    name = "Random"
+
+    def __init__(self, dataset: RecDataset, embedding_dim: int = 8,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(dataset, embedding_dim, rng)
+        self._users = rng.normal(size=(self.num_users, embedding_dim))
+        self._items = rng.normal(size=(self.num_items, embedding_dim))
+
+    def loss(self, users, pos_items, neg_items):
+        # Nothing to learn; return a constant so the trainer still runs.
+        return Tensor(0.0)
+
+    def compute_representations(self):
+        return self._users.copy(), self._items.copy()
+
+
+class PopularityModel(Recommender):
+    """Rank items by training interaction count (zero for cold items)."""
+
+    name = "MostPopular"
+
+    def __init__(self, dataset: RecDataset, embedding_dim: int = 8,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(dataset, embedding_dim, rng)
+        counts = np.zeros(self.num_items)
+        items, freq = np.unique(dataset.split.train[:, 1],
+                                return_counts=True)
+        counts[items] = freq
+        # Tiny noise breaks score ties deterministically.
+        self._scores = counts + 1e-6 * rng.random(self.num_items)
+
+    def loss(self, users, pos_items, neg_items):
+        return Tensor(0.0)
+
+    def compute_representations(self):
+        users = np.ones((self.num_users, 1))
+        items = self._scores.reshape(-1, 1)
+        return users, items

@@ -1,0 +1,65 @@
+"""VBPR (He & McAuley, 2016): visual Bayesian personalized ranking.
+
+Item representation concatenates an ID embedding with a learned projection
+of content features; a separate "visual user" embedding scores the content
+half. Because the content half exists for every item, VBPR ranks strict
+cold-start items sensibly — the paper's Table II shows it as the strongest
+non-KG baseline in the cold scenario.
+
+Faithful to the original, VBPR consumes the *visual* features only (the
+noisier modality in our synthetic worlds) — which is why it trails the
+KG-based cold-start leaders while still beating ID-only CF on cold items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, bpr_loss, embedding_l2, rowwise_dot
+from ..autograd.nn import Embedding, Linear
+from ..data.datasets import RecDataset
+from .base import Recommender
+
+
+class VBPRModel(Recommender):
+    name = "VBPR"
+    uses_modalities = True
+
+    def __init__(self, dataset: RecDataset, embedding_dim: int = 32,
+                 rng: np.random.Generator | None = None,
+                 reg_weight: float = 1e-4):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(dataset, embedding_dim, rng)
+        self.reg_weight = reg_weight
+        self.user_emb = Embedding(self.num_users, embedding_dim, rng)
+        self.item_emb = Embedding(self.num_items, embedding_dim, rng)
+        self.user_content_emb = Embedding(self.num_users, embedding_dim, rng)
+
+        modality = "image" if "image" in dataset.features else \
+            next(iter(dataset.features))
+        features = dataset.features[modality]
+        self.features = Tensor(features)  # frozen raw visual content
+        self.projection = Linear(features.shape[1], embedding_dim, rng)
+
+    def _content_items(self) -> Tensor:
+        return self.projection(self.features)
+
+    def loss(self, users, pos_items, neg_items):
+        u_id = self.user_emb(users)
+        u_content = self.user_content_emb(users)
+        content = self._content_items()
+        pos = rowwise_dot(u_id, self.item_emb(pos_items)) + \
+            rowwise_dot(u_content, content.take_rows(pos_items))
+        neg = rowwise_dot(u_id, self.item_emb(neg_items)) + \
+            rowwise_dot(u_content, content.take_rows(neg_items))
+        reg = embedding_l2([u_id, u_content, self.item_emb(pos_items),
+                            self.item_emb(neg_items)])
+        return bpr_loss(pos, neg) + self.reg_weight * reg
+
+    def compute_representations(self):
+        content = self._content_items().data
+        users = np.concatenate(
+            [self.user_emb.weight.data, self.user_content_emb.weight.data],
+            axis=1)
+        items = np.concatenate([self.item_emb.weight.data, content], axis=1)
+        return users.copy(), items.copy()

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table-I style statistics for the built-in benchmarks.
+``train``
+    Train one model on one benchmark, print Cold/Warm/HM metrics, and
+    optionally save a checkpoint.
+``evaluate``
+    Load a checkpoint and re-run the all-ranking evaluation.
+``compare``
+    Train several models and print the comparison table.
+``models``
+    List the registered models and their families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .baselines import available_models, create_model, model_family
+from .baselines.registry import EXTRA_MODELS
+from .data import load_amazon, load_weixin
+from .eval import evaluate_model
+from .train import TrainConfig, train_model
+from .train.checkpoint import load_checkpoint, save_checkpoint
+from .utils.tables import format_table, scenario_rows
+
+DATASETS = ("beauty", "cell_phones", "clothing", "weixin")
+
+
+def _load_dataset(name: str, size: str):
+    if name == "weixin":
+        return load_weixin(size=size)
+    return load_amazon(name, size=size)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASETS, default="beauty")
+    parser.add_argument("--size", choices=("tiny", "small", "medium"),
+                        default="small")
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--embedding-dim", type=int, default=32)
+    parser.add_argument("--learning-rate", type=float, default=0.05)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--lr-schedule", default="constant",
+                        choices=("constant", "step", "cosine",
+                                 "warmup-cosine"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--k", type=int, default=20)
+
+
+def _train_config(args) -> TrainConfig:
+    return TrainConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        lr_schedule=args.lr_schedule,
+        eval_every=max(args.epochs // 4, 1),
+        eval_k=args.k,
+        seed=args.seed,
+    )
+
+
+def cmd_datasets(args) -> int:
+    rows = [_load_dataset(name, args.size).statistics().as_row()
+            for name in DATASETS]
+    print(format_table(rows, title="Benchmark statistics (Table I)"))
+    return 0
+
+
+def cmd_models(args) -> int:
+    rows = [{"Model": name, "Family": model_family(name)}
+            for name in available_models()]
+    rows += [{"Model": name, "Family": EXTRA_MODELS[name][2]}
+             for name in sorted(EXTRA_MODELS)]
+    print(format_table(rows, title="Registered models"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = _load_dataset(args.dataset, args.size)
+    model = create_model(args.model, dataset,
+                         embedding_dim=args.embedding_dim, seed=args.seed)
+    result = train_model(model, dataset, _train_config(args))
+    print(f"trained {result.epochs_run} epochs "
+          f"in {result.train_seconds:.1f}s")
+    scenario = evaluate_model(model, dataset.split, k=args.k)
+    print(format_table(
+        scenario_rows(args.model, model_family(args.model), scenario),
+        title=f"{args.model} on {dataset.name}"))
+    if args.checkpoint:
+        save_checkpoint(model, args.checkpoint, metadata={
+            "model": args.model,
+            "dataset": args.dataset,
+            "size": args.size,
+            "seed": args.seed,
+            "epochs": result.epochs_run,
+        })
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .train.checkpoint import peek_metadata
+    meta = peek_metadata(args.checkpoint)
+    dataset = _load_dataset(meta.get("dataset", args.dataset),
+                            meta.get("size", args.size))
+    model = create_model(meta.get("model", args.model), dataset,
+                         embedding_dim=args.embedding_dim,
+                         seed=meta.get("seed", args.seed))
+    load_checkpoint(model, args.checkpoint)
+    model.eval()
+    scenario = evaluate_model(model, dataset.split, k=args.k)
+    name = meta.get("model", args.model)
+    print(format_table(scenario_rows(name, model_family(name), scenario),
+                       title=f"{name} (from {args.checkpoint})"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    dataset = _load_dataset(args.dataset, args.size)
+    rows = []
+    for name in args.models:
+        print(f"training {name} ...", file=sys.stderr)
+        model = create_model(name, dataset,
+                             embedding_dim=args.embedding_dim,
+                             seed=args.seed)
+        train_model(model, dataset, _train_config(args))
+        result = evaluate_model(model, dataset.split, k=args.k)
+        rows.append({
+            "Method": name,
+            "Type": model_family(name),
+            f"Cold R@{args.k}": round(100 * result.cold.recall, 2),
+            f"Cold M@{args.k}": round(100 * result.cold.mrr, 2),
+            f"Warm R@{args.k}": round(100 * result.warm.recall, 2),
+            f"Warm M@{args.k}": round(100 * result.warm.mrr, 2),
+            f"HM M@{args.k}": round(100 * result.hm.mrr, 2),
+        })
+    print(format_table(rows, title=f"Comparison on {dataset.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Firzen reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="benchmark statistics")
+    p_datasets.add_argument("--size", default="small",
+                            choices=("tiny", "small", "medium"))
+    p_datasets.set_defaults(func=cmd_datasets)
+
+    p_models = sub.add_parser("models", help="list registered models")
+    p_models.set_defaults(func=cmd_models)
+
+    p_train = sub.add_parser("train", help="train one model")
+    p_train.add_argument("model")
+    p_train.add_argument("--checkpoint", default=None)
+    _add_common(p_train)
+    p_train.set_defaults(func=cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    p_eval.add_argument("checkpoint")
+    p_eval.add_argument("--model", default="Firzen")
+    _add_common(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_compare = sub.add_parser("compare", help="compare several models")
+    p_compare.add_argument("models", nargs="+")
+    _add_common(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

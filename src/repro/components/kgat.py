@@ -1,0 +1,87 @@
+"""Knowledge-aware graph attention (paper eq. 9-13, following KGAT).
+
+For each head entity h, neighbors are the triplets (h, r, t) in the
+collaborative KG. Attention logits are
+
+    pi(h, r, t) = (W_r x_t)^T tanh(W_r x_h + e_r)
+
+softmaxed over h's ego network (eq. 10), the neighborhood message is the
+attention-weighted sum of tail embeddings (eq. 9), and the output combines
+head and message through the bi-interaction aggregator (eq. 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.nn import Module
+from ..autograd.init import xavier_uniform
+from ..graphs.ckg import CollaborativeKG
+from .segments import segment_softmax_weighted_sum
+
+
+class KnowledgeGraphAttention(Module):
+    """One layer of KGAT-style attentive aggregation over a frozen CKG."""
+
+    def __init__(self, ckg: CollaborativeKG, dim: int, relation_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.ckg = ckg
+        self.dim = dim
+        self.relation_dim = relation_dim
+        self.relation_emb = xavier_uniform(rng, ckg.num_relations,
+                                           relation_dim)
+        # One projection per relation (W_r). Stored as a list so each is a
+        # separately-updated parameter.
+        self.relation_proj = [xavier_uniform(rng, dim, relation_dim)
+                              for _ in range(ckg.num_relations)]
+        self.w_sum = xavier_uniform(rng, dim, dim)
+        self.w_prod = xavier_uniform(rng, dim, dim)
+
+        self.rebind(ckg)
+
+    def rebind(self, ckg: CollaborativeKG) -> None:
+        """Re-index the frozen triplet groupings against a (possibly
+        extended) CKG with the same relation vocabulary. Used by the
+        normal cold-start protocol when new Interact edges appear."""
+        if ckg.num_relations != len(self.relation_proj):
+            raise ValueError("relation vocabulary changed")
+        self.ckg = ckg
+        triplets = ckg.triplets
+        self._by_relation = []
+        for relation in range(ckg.num_relations):
+            mask = triplets[:, 1] == relation
+            self._by_relation.append((
+                triplets[mask, 0].copy(), triplets[mask, 2].copy()))
+
+    def forward(self, node_emb: Tensor) -> Tensor:
+        """Aggregate one attention hop; input/output are (num_nodes, dim)."""
+        logits_parts: list[Tensor] = []
+        tails_parts: list[Tensor] = []
+        heads_parts: list[np.ndarray] = []
+        for relation, (heads, tails) in enumerate(self._by_relation):
+            if len(heads) == 0:
+                continue
+            x_h = node_emb.take_rows(heads)
+            x_t = node_emb.take_rows(tails)
+            w_r = self.relation_proj[relation]
+            e_r = self.relation_emb[relation]
+            proj_t = x_t.matmul(w_r)
+            proj_h = (x_h.matmul(w_r) + e_r).tanh()
+            logits_parts.append((proj_t * proj_h).sum(axis=1))
+            tails_parts.append(x_t)
+            heads_parts.append(heads)
+
+        from ..autograd import concat
+        logits = concat(logits_parts, axis=0)
+        tails = concat(tails_parts, axis=0)
+        segments = np.concatenate(heads_parts)
+
+        neighborhood = segment_softmax_weighted_sum(
+            logits, tails, segments, self.ckg.num_nodes)
+
+        # Bi-interaction aggregator (eq. 13).
+        summed = (node_emb + neighborhood).matmul(self.w_sum).leaky_relu()
+        prod = (node_emb * neighborhood).matmul(self.w_prod).leaky_relu()
+        return summed + prod

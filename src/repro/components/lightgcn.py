@@ -1,0 +1,34 @@
+"""LightGCN propagation (paper eq. 5-6), used by most graph models here."""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from ..autograd import Tensor, concat, mean_stack, sparse_matmul
+
+
+def lightgcn_propagate(norm_adjacency: sp.spmatrix, user_emb: Tensor,
+                       item_emb: Tensor, num_layers: int,
+                       return_layers: bool = False):
+    """Run LightGCN message passing over the joint (user+item) graph.
+
+    Layer-wise embeddings are mean-pooled (the paper's aggregation). The
+    initial embeddings participate in the mean, so isolated nodes keep
+    their layer-0 vectors scaled by ``1/(L+1)``.
+
+    Returns ``(user_out, item_out)`` Tensors, or the full per-layer list
+    when ``return_layers`` is set.
+    """
+    num_users = user_emb.shape[0]
+    ego = concat([user_emb, item_emb], axis=0)
+    layers = [ego]
+    current = ego
+    for _ in range(num_layers):
+        current = sparse_matmul(norm_adjacency, current)
+        layers.append(current)
+    pooled = mean_stack(layers)
+    user_out = pooled[:num_users]
+    item_out = pooled[num_users:]
+    if return_layers:
+        return user_out, item_out, layers
+    return user_out, item_out

@@ -1,0 +1,55 @@
+"""TransR knowledge-graph embedding objective (paper eq. 30-31).
+
+Score of a triplet: ``-|| W_r e_h + e_r - W_r e_t ||^2``; training uses the
+pairwise logistic loss over (valid, corrupted) tail pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.nn import Module
+from ..autograd.init import xavier_uniform
+
+
+class TransRScorer(Module):
+    """Relation-specific projection + translation scorer over entity
+    embeddings supplied by the caller."""
+
+    def __init__(self, num_relations: int, entity_dim: int,
+                 relation_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.relation_emb = xavier_uniform(rng, num_relations, relation_dim)
+        self.relation_proj = [xavier_uniform(rng, entity_dim, relation_dim)
+                              for _ in range(num_relations)]
+        self.num_relations = num_relations
+
+    def score(self, entity_emb: Tensor, heads: np.ndarray,
+              relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        """Batched triplet scores, grouped internally by relation."""
+        relations = np.asarray(relations, dtype=np.int64)
+        parts: list[tuple[np.ndarray, Tensor]] = []
+        for relation in np.unique(relations):
+            mask = np.flatnonzero(relations == relation)
+            w_r = self.relation_proj[int(relation)]
+            e_r = self.relation_emb[int(relation)]
+            h = entity_emb.take_rows(heads[mask]).matmul(w_r)
+            t = entity_emb.take_rows(tails[mask]).matmul(w_r)
+            diff = h + e_r - t
+            parts.append((mask, -(diff * diff).sum(axis=1)))
+        # Reassemble in input order via a scatter of concatenated parts.
+        from ..autograd import concat
+        order = np.concatenate([mask for mask, _ in parts])
+        stacked = concat([score for _, score in parts], axis=0)
+        inverse = np.argsort(order, kind="stable")
+        return stacked.take_rows(inverse)
+
+
+def transr_loss(scorer: TransRScorer, entity_emb: Tensor,
+                heads: np.ndarray, relations: np.ndarray,
+                pos_tails: np.ndarray, neg_tails: np.ndarray) -> Tensor:
+    """Pairwise ranking loss over valid vs corrupted triplets (eq. 30)."""
+    pos = scorer.score(entity_emb, heads, relations, pos_tails)
+    neg = scorer.score(entity_emb, heads, relations, neg_tails)
+    return -((pos - neg).logsigmoid()).mean()

@@ -1,0 +1,22 @@
+"""Firzen core: configuration, SAHGL, MSHGL, discriminator, model."""
+
+from .config import FirzenConfig
+from .discriminator import GraphRowDiscriminator, gumbel_augmented_graph
+from .firzen import FirzenModel
+from .mshgl import MSHGL, ItemItemPropagation, UserUserPropagation
+from .sahgl import (BehaviorEncoder, ImportanceFusion, KnowledgeEncoder,
+                    ModalityEncoder)
+
+__all__ = [
+    "FirzenConfig",
+    "FirzenModel",
+    "GraphRowDiscriminator",
+    "gumbel_augmented_graph",
+    "MSHGL",
+    "ItemItemPropagation",
+    "UserUserPropagation",
+    "BehaviorEncoder",
+    "ImportanceFusion",
+    "KnowledgeEncoder",
+    "ModalityEncoder",
+]

@@ -1,0 +1,34 @@
+"""Synthetic benchmark construction (the paper's datasets, rebuilt)."""
+
+from .amazon import load_amazon
+from .io import load_dataset, save_dataset
+from .datasets import MODALITIES, DatasetStatistics, RecDataset, build_dataset
+from .kg_builder import RELATIONS, KnowledgeGraph, build_knowledge_graph
+from .splits import ColdStartSplit, make_cold_start_split, split_normal_cold
+from .text import TfidfResult, select_feature_words, tfidf_scores
+from .weixin import load_weixin
+from .world import World, WorldConfig, apply_k_core, generate_world
+
+__all__ = [
+    "MODALITIES",
+    "DatasetStatistics",
+    "RecDataset",
+    "build_dataset",
+    "KnowledgeGraph",
+    "RELATIONS",
+    "build_knowledge_graph",
+    "ColdStartSplit",
+    "make_cold_start_split",
+    "split_normal_cold",
+    "TfidfResult",
+    "select_feature_words",
+    "tfidf_scores",
+    "load_amazon",
+    "save_dataset",
+    "load_dataset",
+    "load_weixin",
+    "World",
+    "WorldConfig",
+    "generate_world",
+    "apply_k_core",
+]

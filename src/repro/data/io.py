@@ -1,0 +1,87 @@
+"""Dataset serialization: save/load benchmarks as ``.npz`` archives.
+
+Synthetic benchmarks are cheap to regenerate, but pinning the exact
+arrays to disk makes experiments auditable and lets external tools (or a
+different machine) consume the same benchmark bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .datasets import RecDataset
+from .kg_builder import KnowledgeGraph
+from .splits import ColdStartSplit
+
+_SPLIT_FIELDS = ("warm_items", "cold_items", "train", "warm_val",
+                 "warm_test", "cold_val", "cold_test", "cold_val_known",
+                 "cold_val_unknown", "cold_test_known", "cold_test_unknown")
+
+
+def save_dataset(dataset: RecDataset, path: str | Path) -> None:
+    """Write a dataset (split + features + KG) to a compressed archive.
+
+    The generator ``world`` is not stored — it is ground truth for tests,
+    not part of the benchmark contract.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "modalities": list(dataset.modalities),
+        "kg": {
+            "num_entities": dataset.kg.num_entities,
+            "num_relations": dataset.kg.num_relations,
+            "num_items": dataset.kg.num_items,
+            "relation_names": list(dataset.kg.relation_names),
+        },
+    }
+    for field in _SPLIT_FIELDS:
+        value = getattr(dataset.split, field)
+        if value is not None:
+            arrays[f"split.{field}"] = np.asarray(value)
+    for modality, features in dataset.features.items():
+        arrays[f"features.{modality}"] = np.asarray(features)
+    arrays["kg.triplets"] = dataset.kg.triplets
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str | Path) -> RecDataset:
+    """Reconstruct a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        header = json.loads(archive["__header__"].tobytes().decode("utf-8"))
+        split_kwargs = {
+            "num_users": header["num_users"],
+            "num_items": header["num_items"],
+        }
+        for field in _SPLIT_FIELDS:
+            key = f"split.{field}"
+            split_kwargs[field] = (archive[key] if key in archive.files
+                                   else None)
+        split = ColdStartSplit(**split_kwargs)
+        features = {m: archive[f"features.{m}"]
+                    for m in header["modalities"]}
+        kg = KnowledgeGraph(
+            triplets=archive["kg.triplets"],
+            num_entities=header["kg"]["num_entities"],
+            num_relations=header["kg"]["num_relations"],
+            num_items=header["kg"]["num_items"],
+            relation_names=tuple(header["kg"]["relation_names"]),
+        )
+    return RecDataset(
+        name=header["name"],
+        num_users=header["num_users"],
+        num_items=header["num_items"],
+        split=split,
+        features=features,
+        kg=kg,
+        world=None,
+    )

@@ -1,0 +1,195 @@
+"""Knowledge-graph construction matching the paper's Amazon KG schema.
+
+Entities (Fig. 5): Item, Feature (TF-IDF review word), Brand, Category.
+Relations: Described-by, Produced-by, Belong-to, Also-bought, Also-viewed,
+Bought-together — six external relations; the ``Interact`` relation is added
+later when the collaborative KG is assembled.
+
+Entity ids are laid out as::
+
+    [0, num_items)                                   items
+    [num_items, num_items + num_features)            feature words
+    [... + num_brands)                               brands
+    [... + num_categories)                           categories
+
+so that item i *is* entity i (the item-entity alignment the paper relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .text import TfidfResult, select_feature_words
+from .world import World
+
+# Relation vocabulary, in the paper's order (Fig. 5).
+RELATIONS = (
+    "described_by",
+    "produced_by",
+    "belong_to",
+    "also_bought",
+    "also_viewed",
+    "bought_together",
+)
+RELATION_INDEX = {name: idx for idx, name in enumerate(RELATIONS)}
+
+
+@dataclass
+class KnowledgeGraph:
+    """Triplet store for the item-side knowledge graph."""
+
+    triplets: np.ndarray              # (n, 3) of (head, relation, tail)
+    num_entities: int
+    num_relations: int
+    num_items: int
+    entity_labels: dict = field(default_factory=dict, repr=False)
+    relation_names: tuple = RELATIONS
+
+    def __post_init__(self):
+        self.triplets = np.asarray(self.triplets, dtype=np.int64)
+        if self.triplets.size == 0:
+            self.triplets = self.triplets.reshape(0, 3)
+
+    @property
+    def num_triplets(self) -> int:
+        return len(self.triplets)
+
+    def neighbors_of(self, entity: int) -> np.ndarray:
+        """All triplets with ``entity`` as head (its ego network)."""
+        return self.triplets[self.triplets[:, 0] == entity]
+
+    def with_triplets(self, triplets: np.ndarray) -> "KnowledgeGraph":
+        """Copy of this KG with a different triplet set (used by the noise
+        injection experiments)."""
+        return KnowledgeGraph(
+            triplets=np.asarray(triplets, dtype=np.int64),
+            num_entities=self.num_entities,
+            num_relations=self.num_relations,
+            num_items=self.num_items,
+            entity_labels=self.entity_labels,
+            relation_names=self.relation_names,
+        )
+
+    def triplet_set(self) -> set[tuple[int, int, int]]:
+        return {tuple(int(v) for v in row) for row in self.triplets}
+
+
+def _cooccurrence_pairs(interactions: np.ndarray, num_items: int,
+                        top_k: int) -> list[tuple[int, int]]:
+    """Most frequently co-interacted item pairs (for also_bought et al.)."""
+    import scipy.sparse as sp
+
+    users = interactions[:, 0]
+    items = interactions[:, 1]
+    matrix = sp.csr_matrix(
+        (np.ones(len(items)), (users, items)),
+        shape=(int(users.max()) + 1 if len(users) else 1, num_items),
+    )
+    co = (matrix.T @ matrix).tocoo()
+    pairs = [
+        (int(i), int(j), float(v))
+        for i, j, v in zip(co.row, co.col, co.data)
+        if i != j
+    ]
+    pairs.sort(key=lambda p: -p[2])
+    return [(i, j) for i, j, _ in pairs[:top_k]]
+
+
+def _similarity_pairs(features: np.ndarray, top_k: int) -> list[tuple[int, int]]:
+    """Most content-similar item pairs (for also_viewed)."""
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    unit = features / norms
+    sims = unit @ unit.T
+    np.fill_diagonal(sims, -np.inf)
+    num_items = len(features)
+    flat = np.argsort(sims, axis=None)[::-1][: top_k * 2]
+    pairs = []
+    for idx in flat:
+        i, j = divmod(int(idx), num_items)
+        pairs.append((i, j))
+        if len(pairs) >= top_k:
+            break
+    return pairs
+
+
+def build_knowledge_graph(world: World,
+                          tfidf: TfidfResult | None = None,
+                          min_frequency: int = 10,
+                          max_frequency: int = 1000,
+                          min_score: float = 0.02,
+                          cooccurrence_top_k: int | None = None,
+                          similarity_top_k: int | None = None) -> KnowledgeGraph:
+    """Assemble the item KG from the synthetic world.
+
+    ``min_score`` defaults lower than the paper's 0.1 because our synthetic
+    corpora are far smaller; the pipeline (frequency window + TF-IDF
+    threshold) is identical.
+    """
+    config = world.config
+    num_items = config.num_items
+    if tfidf is None:
+        tfidf = select_feature_words(
+            world.reviews,
+            min_frequency=min_frequency,
+            max_frequency=max_frequency,
+            min_score=min_score,
+        )
+
+    feature_words = tfidf.selected_words
+    feature_index = {w: i for i, w in enumerate(feature_words)}
+    num_features = len(feature_words)
+    feature_base = num_items
+    brand_base = feature_base + num_features
+    category_base = brand_base + config.num_brands
+    num_entities = category_base + config.num_categories
+
+    triplets: list[tuple[int, int, int]] = []
+
+    # described_by: item -> feature word
+    for item, words in tfidf.item_words.items():
+        for word in words:
+            triplets.append((item, RELATION_INDEX["described_by"],
+                             feature_base + feature_index[word]))
+
+    # produced_by: item -> brand; belong_to: item -> category
+    for item in range(num_items):
+        triplets.append((item, RELATION_INDEX["produced_by"],
+                         brand_base + int(world.item_brand[item])))
+        triplets.append((item, RELATION_INDEX["belong_to"],
+                         category_base + int(world.item_category[item])))
+
+    # co-occurrence relations
+    if cooccurrence_top_k is None:
+        cooccurrence_top_k = num_items
+    if similarity_top_k is None:
+        similarity_top_k = num_items
+    co_pairs = _cooccurrence_pairs(world.interactions, num_items,
+                                   cooccurrence_top_k)
+    for idx, (i, j) in enumerate(co_pairs):
+        relation = ("also_bought" if idx % 2 == 0 else "bought_together")
+        triplets.append((i, RELATION_INDEX[relation], j))
+
+    sim_pairs = _similarity_pairs(world.text_features, similarity_top_k)
+    for i, j in sim_pairs:
+        triplets.append((i, RELATION_INDEX["also_viewed"], j))
+
+    labels: dict[int, str] = {}
+    for item in range(num_items):
+        labels[item] = f"item:{item}"
+    for word, idx in feature_index.items():
+        labels[feature_base + idx] = f"feature:{word}"
+    for b in range(config.num_brands):
+        labels[brand_base + b] = f"brand:{b}"
+    for c in range(config.num_categories):
+        labels[category_base + c] = f"category:{c}"
+
+    return KnowledgeGraph(
+        triplets=np.asarray(sorted(set(triplets)), dtype=np.int64),
+        num_entities=num_entities,
+        num_relations=len(RELATIONS),
+        num_items=num_items,
+        entity_labels=labels,
+    )

@@ -1,0 +1,105 @@
+"""Review-text processing: term statistics and TF-IDF feature selection.
+
+Reproduces the paper's KG preprocessing step: "Feature entities from review
+data are preprocessed using TF-IDF to eliminate less meaningful words,
+retaining words with a frequency between 10 and 1,000 and a TF-IDF score
+> 0.1". The frequency window is configurable because our synthetic corpora
+are smaller than Amazon's.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TfidfResult:
+    """Outcome of TF-IDF feature-word selection."""
+
+    selected_words: list[str]
+    word_scores: dict[str, float]
+    item_words: dict[int, list[str]]  # item -> selected words in its reviews
+
+
+def term_frequencies(documents: list[list[str]]) -> Counter:
+    """Corpus-level raw term counts."""
+    counts: Counter = Counter()
+    for doc in documents:
+        counts.update(doc)
+    return counts
+
+
+def document_frequencies(documents: list[list[str]]) -> Counter:
+    """Number of documents each term appears in."""
+    counts: Counter = Counter()
+    for doc in documents:
+        counts.update(set(doc))
+    return counts
+
+
+def tfidf_scores(documents: list[list[str]]) -> dict[str, float]:
+    """Max-over-documents TF-IDF score per term.
+
+    TF is the within-document relative frequency; IDF is the standard
+    ``log(N / df)``. Taking the max over documents gives a per-word score
+    suitable for the paper's "> 0.1" threshold semantics.
+    """
+    num_docs = len(documents)
+    if num_docs == 0:
+        return {}
+    df = document_frequencies(documents)
+    scores: dict[str, float] = defaultdict(float)
+    for doc in documents:
+        if not doc:
+            continue
+        tf = Counter(doc)
+        length = len(doc)
+        for word, count in tf.items():
+            idf = np.log(num_docs / df[word])
+            score = (count / length) * idf
+            if score > scores[word]:
+                scores[word] = float(score)
+    return dict(scores)
+
+
+def select_feature_words(reviews: list[tuple[int, int, list[str]]],
+                         min_frequency: int = 10,
+                         max_frequency: int = 1000,
+                         min_score: float = 0.1) -> TfidfResult:
+    """Select KG Feature entities from reviews, per the paper's recipe.
+
+    Parameters
+    ----------
+    reviews:
+        Triples ``(user, item, words)``.
+    min_frequency, max_frequency:
+        Corpus frequency window (paper: [10, 1000]).
+    min_score:
+        TF-IDF threshold (paper: 0.1).
+    """
+    documents = [words for _, _, words in reviews]
+    freq = term_frequencies(documents)
+    scores = tfidf_scores(documents)
+
+    selected = sorted(
+        word for word, count in freq.items()
+        if min_frequency <= count <= max_frequency
+        and scores.get(word, 0.0) > min_score
+    )
+    selected_set = set(selected)
+
+    item_words: dict[int, list[str]] = defaultdict(list)
+    for _, item, words in reviews:
+        hits = [w for w in words if w in selected_set]
+        for word in hits:
+            if word not in item_words[item]:
+                item_words[item].append(word)
+
+    return TfidfResult(
+        selected_words=selected,
+        word_scores={w: scores.get(w, 0.0) for w in selected},
+        item_words=dict(item_words),
+    )

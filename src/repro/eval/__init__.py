@@ -1,0 +1,48 @@
+"""Evaluation metrics and the all-ranking protocol."""
+
+from .metrics import (
+    METRIC_NAMES,
+    MetricResult,
+    evaluate_rankings,
+    harmonic_mean,
+    harmonic_mean_result,
+    hit_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from .reporting import (EXPERIMENT_INDEX, ReportStatus, build_report,
+                        scan_results, write_report)
+from .protocol import (
+    ScenarioResult,
+    evaluate_at_ks,
+    evaluate_model,
+    evaluate_normal_cold,
+    evaluate_scenario,
+    rank_candidates,
+)
+
+__all__ = [
+    "METRIC_NAMES",
+    "MetricResult",
+    "evaluate_rankings",
+    "harmonic_mean",
+    "harmonic_mean_result",
+    "recall_at_k",
+    "precision_at_k",
+    "hit_at_k",
+    "mrr_at_k",
+    "ndcg_at_k",
+    "ScenarioResult",
+    "evaluate_at_ks",
+    "evaluate_model",
+    "evaluate_normal_cold",
+    "evaluate_scenario",
+    "rank_candidates",
+    "EXPERIMENT_INDEX",
+    "ReportStatus",
+    "build_report",
+    "scan_results",
+    "write_report",
+]

@@ -1,0 +1,131 @@
+"""All-ranking evaluation protocol (paper section IV-A.2).
+
+Warm setting: candidates are all *warm* items the user has not interacted
+with in training. Cold setting: candidates are all *cold* items. Scores
+come from a model's ``score_users`` method; train items are masked to
+``-inf`` before ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.splits import ColdStartSplit
+from .metrics import MetricResult, evaluate_rankings, harmonic_mean_result
+
+
+@dataclass
+class ScenarioResult:
+    """Cold/warm/HM metric triple for one model on one dataset."""
+
+    cold: MetricResult
+    warm: MetricResult
+
+    @property
+    def hm(self) -> MetricResult:
+        return harmonic_mean_result(self.cold, self.warm)
+
+    def as_table_rows(self) -> dict:
+        return {
+            "Cold": self.cold.as_percent_row(),
+            "Warm": self.warm.as_percent_row(),
+            "HM": self.hm.as_percent_row(),
+        }
+
+
+def rank_candidates(scores: np.ndarray, candidate_items: np.ndarray,
+                    k: int) -> np.ndarray:
+    """Top-k candidate item ids by score (best first)."""
+    cand_scores = scores[candidate_items]
+    k = min(k, len(candidate_items))
+    top = np.argpartition(-cand_scores, k - 1)[:k]
+    top = top[np.argsort(-cand_scores[top], kind="stable")]
+    return candidate_items[top]
+
+
+def evaluate_scenario(model, split: ColdStartSplit, which: str,
+                      k: int = 20, extra_seen: dict | None = None) -> MetricResult:
+    """Evaluate one scenario (``warm_test``, ``cold_test``, ...).
+
+    Parameters
+    ----------
+    model:
+        Anything with ``score_users(user_ids) -> (len(user_ids), num_items)``.
+    which:
+        Ground-truth split name on ``split``.
+    extra_seen:
+        Additional user->items to mask (normal cold-start known edges).
+    """
+    truth = split.ground_truth(which)
+    users = np.asarray(sorted(truth.keys()), dtype=np.int64)
+    if len(users) == 0:
+        return MetricResult(k, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+
+    cold_scenario = which.startswith("cold")
+    if cold_scenario:
+        candidates = np.asarray(split.cold_items)
+    else:
+        candidates = np.asarray(split.warm_items)
+
+    seen = split.train_items_by_user() if not cold_scenario else {}
+
+    scores = model.score_users(users)
+    rankings: dict[int, np.ndarray] = {}
+    for row, user in enumerate(users):
+        user_scores = scores[row].copy()
+        for item in seen.get(int(user), ()):  # mask train items (warm only)
+            user_scores[item] = -np.inf
+        if extra_seen:
+            for item in extra_seen.get(int(user), ()):
+                user_scores[item] = -np.inf
+        rankings[int(user)] = rank_candidates(user_scores, candidates, k)
+    return evaluate_rankings(rankings, truth, k=k)
+
+
+def evaluate_model(model, split: ColdStartSplit, k: int = 20,
+                   use_validation: bool = False) -> ScenarioResult:
+    """Full strict cold-start + warm-start evaluation of a trained model."""
+    warm_split = "warm_val" if use_validation else "warm_test"
+    cold_split = "cold_val" if use_validation else "cold_test"
+    warm = evaluate_scenario(model, split, warm_split, k=k)
+    cold = evaluate_scenario(model, split, cold_split, k=k)
+    return ScenarioResult(cold=cold, warm=warm)
+
+
+def evaluate_at_ks(model, split: ColdStartSplit, which: str,
+                   ks: tuple = (10, 20, 50)) -> dict:
+    """Evaluate one scenario at multiple cutoffs with a single scoring
+    pass: rankings are computed once at ``max(ks)`` and truncated."""
+    truth = split.ground_truth(which)
+    users = np.asarray(sorted(truth.keys()), dtype=np.int64)
+    if len(users) == 0:
+        return {k: MetricResult(k, 0, 0, 0, 0, 0, 0) for k in ks}
+
+    cold_scenario = which.startswith("cold")
+    candidates = np.asarray(split.cold_items if cold_scenario
+                            else split.warm_items)
+    seen = split.train_items_by_user() if not cold_scenario else {}
+    max_k = max(ks)
+    scores = model.score_users(users)
+    rankings: dict[int, np.ndarray] = {}
+    for row, user in enumerate(users):
+        user_scores = scores[row].copy()
+        for item in seen.get(int(user), ()):
+            user_scores[item] = -np.inf
+        rankings[int(user)] = rank_candidates(user_scores, candidates,
+                                              max_k)
+    return {k: evaluate_rankings(rankings, truth, k=k) for k in ks}
+
+
+def evaluate_normal_cold(model, split: ColdStartSplit,
+                         k: int = 20) -> MetricResult:
+    """Normal cold-start protocol (Table VI): the known half of cold
+    interactions was available to the model; evaluate on the unknown half,
+    masking known items from the candidate scores."""
+    known: dict[int, set] = {}
+    for user, item in split.cold_test_known:
+        known.setdefault(int(user), set()).add(int(item))
+    return evaluate_scenario(model, split, "cold_test_unknown", k=k,
+                             extra_seen=known)

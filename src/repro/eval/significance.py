@@ -1,0 +1,106 @@
+"""Bootstrap significance testing for metric comparisons.
+
+Paper tables bold the best method; to claim "A beats B" on a benchmark
+this module provides a paired bootstrap over users: resample the user
+population with replacement and count how often A's mean metric exceeds
+B's. This is the standard IR-style significance test for top-K ranking
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.splits import ColdStartSplit
+from .metrics import (hit_at_k, mrr_at_k, ndcg_at_k, precision_at_k,
+                      recall_at_k)
+from .protocol import rank_candidates
+
+_METRIC_FUNCS = {
+    "recall": recall_at_k,
+    "precision": precision_at_k,
+    "hit": hit_at_k,
+    "mrr": mrr_at_k,
+    "ndcg": ndcg_at_k,
+}
+
+
+def per_user_metric(model, split: ColdStartSplit, which: str,
+                    metric: str = "recall", k: int = 20) -> dict:
+    """Per-user metric values for one scenario (no averaging)."""
+    func = _METRIC_FUNCS[metric]
+    truth = split.ground_truth(which)
+    users = np.asarray(sorted(truth.keys()), dtype=np.int64)
+    if len(users) == 0:
+        return {}
+    cold = which.startswith("cold")
+    candidates = np.asarray(split.cold_items if cold else split.warm_items)
+    seen = split.train_items_by_user() if not cold else {}
+    scores = model.score_users(users)
+    values = {}
+    for row, user in enumerate(users):
+        user_scores = scores[row].copy()
+        for item in seen.get(int(user), ()):
+            user_scores[item] = -np.inf
+        ranked = rank_candidates(user_scores, candidates, k)
+        values[int(user)] = func(ranked, truth[int(user)], k)
+    return values
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison."""
+
+    mean_a: float
+    mean_b: float
+    mean_difference: float
+    p_value: float            # P(B >= A) under resampling
+    ci_low: float             # 95% CI of the difference
+    ci_high: float
+    num_users: int
+    num_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when A > B at the 5% level."""
+        return self.p_value < 0.05 and self.mean_difference > 0
+
+
+def paired_bootstrap(values_a: dict, values_b: dict,
+                     num_samples: int = 2000,
+                     seed: int = 0) -> BootstrapResult:
+    """Paired bootstrap over the users both systems were evaluated on."""
+    shared = sorted(set(values_a) & set(values_b))
+    if not shared:
+        raise ValueError("no overlapping users to compare")
+    a = np.array([values_a[u] for u in shared])
+    b = np.array([values_b[u] for u in shared])
+    diff = a - b
+    rng = np.random.default_rng(seed)
+    n = len(shared)
+    samples = np.empty(num_samples)
+    for i in range(num_samples):
+        idx = rng.integers(0, n, size=n)
+        samples[i] = diff[idx].mean()
+    p_value = float((samples <= 0).mean())
+    return BootstrapResult(
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+        mean_difference=float(diff.mean()),
+        p_value=p_value,
+        ci_low=float(np.percentile(samples, 2.5)),
+        ci_high=float(np.percentile(samples, 97.5)),
+        num_users=n,
+        num_samples=num_samples,
+    )
+
+
+def compare_models(model_a, model_b, split: ColdStartSplit, which: str,
+                   metric: str = "recall", k: int = 20,
+                   num_samples: int = 2000, seed: int = 0) -> BootstrapResult:
+    """End-to-end: per-user metrics for both models, then paired bootstrap."""
+    values_a = per_user_metric(model_a, split, which, metric, k)
+    values_b = per_user_metric(model_b, split, which, metric, k)
+    return paired_bootstrap(values_a, values_b, num_samples, seed)

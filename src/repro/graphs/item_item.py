@@ -1,0 +1,113 @@
+"""Modality-specific item-item relation graphs (paper section III-B.2).
+
+Construction: cosine similarity on raw modality features (eq. 1), kNN
+sparsification keeping the top-K similar items per row (eq. 2), symmetric
+normalization ``D^-1/2 A D^-1/2`` (eq. 3). The graph is *frozen*.
+
+Train/inference asymmetry (eq. 34-35): during training the graph covers
+only warm items; at inference it is rebuilt over all items with a mask
+that zeroes warm -> cold edges, so information flows *from* warm items
+*to* cold items but never the other way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd.sparse import symmetric_normalize
+
+
+def cosine_similarity_matrix(features: np.ndarray) -> np.ndarray:
+    """Dense cosine similarity between item feature rows (eq. 1)."""
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    unit = features / norms
+    return unit @ unit.T
+
+
+def knn_sparsify(similarity: np.ndarray, top_k: int,
+                 restrict_to: np.ndarray | None = None) -> sp.csr_matrix:
+    """Keep the top-K most similar neighbors per row as unweighted edges
+    (eq. 2). ``restrict_to`` limits both the rows that get edges and the
+    candidate neighbor set (used to build the warm-only training graph)."""
+    n = similarity.shape[0]
+    rows, cols = [], []
+    if restrict_to is None:
+        active = np.arange(n)
+    else:
+        active = np.asarray(restrict_to)
+    allowed = np.zeros(n, dtype=bool)
+    allowed[active] = True
+
+    for a in active:
+        row = similarity[a].copy()
+        row[~allowed] = -np.inf
+        row[a] = -np.inf
+        k = min(top_k, int(allowed.sum()) - 1)
+        if k <= 0:
+            continue
+        neighbors = np.argpartition(-row, k - 1)[:k]
+        neighbors = neighbors[np.isfinite(row[neighbors])]
+        rows.extend([a] * len(neighbors))
+        cols.extend(int(c) for c in neighbors)
+
+    data = np.ones(len(rows), dtype=np.float64)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def cold_mask_matrix(adjacency: sp.spmatrix, is_cold: np.ndarray) -> sp.csr_matrix:
+    """Apply the inference mask M (eq. 34): zero entries where the *row*
+    (receiving) item is warm and the *column* (sending) item is cold.
+
+    Row a aggregates from column b in eq. 18, so blocking cold -> warm
+    propagation means dropping (a warm, b cold) entries.
+    """
+    matrix = adjacency.tocoo()
+    keep = ~((~is_cold[matrix.row]) & is_cold[matrix.col])
+    return sp.csr_matrix(
+        (matrix.data[keep], (matrix.row[keep], matrix.col[keep])),
+        shape=matrix.shape)
+
+
+class ItemItemGraph:
+    """A frozen modality-specific item-item graph with train and inference
+    views."""
+
+    def __init__(self, modality: str, features: np.ndarray, top_k: int,
+                 warm_items: np.ndarray, is_cold: np.ndarray):
+        self.modality = modality
+        self.top_k = top_k
+        self.is_cold = np.asarray(is_cold, dtype=bool)
+        similarity = cosine_similarity_matrix(features)
+
+        # Training view: warm items only (cold items are invisible in train).
+        train_knn = knn_sparsify(similarity, top_k, restrict_to=warm_items)
+        self.train_adjacency = symmetric_normalize(train_knn)
+
+        # Inference view: all items, with the cold->warm mask applied
+        # *before* normalization so degrees reflect the masked structure.
+        full_knn = knn_sparsify(similarity, top_k)
+        masked = cold_mask_matrix(full_knn, self.is_cold)
+        self.infer_adjacency = symmetric_normalize(masked)
+        self._unmasked_infer_adjacency = symmetric_normalize(full_knn)
+
+    def adjacency(self, mode: str = "train",
+                  masked: bool = True) -> sp.csr_matrix:
+        """Return the propagation matrix for ``mode`` in {train, infer}."""
+        if mode == "train":
+            return self.train_adjacency
+        if mode == "infer":
+            return self.infer_adjacency if masked else \
+                self._unmasked_infer_adjacency
+        raise ValueError(f"unknown mode {mode!r}")
+
+
+def build_item_item_graphs(features: dict, top_k: int,
+                           warm_items: np.ndarray,
+                           is_cold: np.ndarray) -> dict:
+    """One frozen graph per modality."""
+    return {
+        modality: ItemItemGraph(modality, feats, top_k, warm_items, is_cold)
+        for modality, feats in features.items()
+    }

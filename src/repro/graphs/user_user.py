@@ -1,0 +1,64 @@
+"""User-user co-occurrence graph (paper section III-B.3).
+
+Edge weight between users a and b is the number of commonly interacted
+items; each user keeps only their top-K co-occurring neighbors (eq. 4).
+Message passing applies a softmax over each user's retained neighbors
+(eq. 19), which we bake into a frozen row-stochastic matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd.sparse import row_softmax
+
+
+def cooccurrence_counts(user_item: sp.spmatrix) -> sp.csr_matrix:
+    """Number of commonly interacted items per user pair (diagonal zeroed)."""
+    binary = user_item.tocsr().astype(np.float64)
+    binary.data[:] = 1.0
+    co = (binary @ binary.T).tocsr()
+    co.setdiag(0.0)
+    co.eliminate_zeros()
+    return co
+
+
+def topk_per_row(matrix: sp.csr_matrix, top_k: int) -> sp.csr_matrix:
+    """Keep only the ``top_k`` largest entries in each row (eq. 4),
+    preserving their weights (co-interaction counts)."""
+    matrix = matrix.tocsr()
+    rows, cols, vals = [], [], []
+    for row in range(matrix.shape[0]):
+        start, end = matrix.indptr[row], matrix.indptr[row + 1]
+        if start == end:
+            continue
+        row_vals = matrix.data[start:end]
+        row_cols = matrix.indices[start:end]
+        if len(row_vals) > top_k:
+            keep = np.argpartition(-row_vals, top_k - 1)[:top_k]
+        else:
+            keep = np.arange(len(row_vals))
+        rows.extend([row] * len(keep))
+        cols.extend(row_cols[keep].tolist())
+        vals.extend(row_vals[keep].tolist())
+    return sp.csr_matrix((vals, (rows, cols)), shape=matrix.shape)
+
+
+class UserUserGraph:
+    """Frozen user-user co-occurrence graph with softmax attention weights."""
+
+    def __init__(self, user_item: sp.spmatrix, top_k: int):
+        self.top_k = top_k
+        counts = cooccurrence_counts(user_item)
+        self.topk_counts = topk_per_row(counts, top_k)
+        # eq. 19: attention = softmax over each row's co-occurrence counts.
+        self.attention = row_softmax(self.topk_counts)
+
+    @property
+    def num_users(self) -> int:
+        return self.attention.shape[0]
+
+    def neighbors_of(self, user: int) -> np.ndarray:
+        row = self.topk_counts.getrow(user)
+        return row.indices.copy()

@@ -1,0 +1,19 @@
+"""KG noise injection for the robustness experiments (Table V)."""
+
+from .kg_noise import (
+    NOISE_KINDS,
+    average_decrease,
+    inject_discrepancies,
+    inject_duplicates,
+    inject_noise,
+    inject_outliers,
+)
+
+__all__ = [
+    "NOISE_KINDS",
+    "average_decrease",
+    "inject_noise",
+    "inject_outliers",
+    "inject_duplicates",
+    "inject_discrepancies",
+]

@@ -1,0 +1,79 @@
+"""Knowledge-graph noise injection (paper section IV-E, Table V).
+
+Three noise forms, each injected as a fraction of extra triplets:
+
+* **outliers** — triplets whose tail is a *non-existent* entity (new
+  brands/categories appended past the entity range);
+* **duplicates** — exact copies of existing triplets;
+* **discrepancies** — triplets with existing but *invalid* tails (e.g. the
+  wrong brand), i.e. corrupted copies that stay inside the entity range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.kg_builder import KnowledgeGraph
+
+NOISE_KINDS = ("outlier", "duplicate", "discrepancy")
+
+
+def inject_outliers(kg: KnowledgeGraph, fraction: float,
+                    rng: np.random.Generator) -> KnowledgeGraph:
+    """Add triplets pointing at brand-new (never-seen) tail entities."""
+    count = int(round(fraction * kg.num_triplets))
+    idx = rng.integers(0, kg.num_triplets, size=count)
+    base = kg.triplets[idx].copy()
+    new_entities = np.arange(kg.num_entities, kg.num_entities + count)
+    base[:, 2] = new_entities
+    noisy = kg.with_triplets(np.concatenate([kg.triplets, base]))
+    noisy.num_entities = kg.num_entities + count
+    return noisy
+
+
+def inject_duplicates(kg: KnowledgeGraph, fraction: float,
+                      rng: np.random.Generator) -> KnowledgeGraph:
+    """Repeat a random subset of existing triplets verbatim."""
+    count = int(round(fraction * kg.num_triplets))
+    idx = rng.integers(0, kg.num_triplets, size=count)
+    return kg.with_triplets(
+        np.concatenate([kg.triplets, kg.triplets[idx].copy()]))
+
+
+def inject_discrepancies(kg: KnowledgeGraph, fraction: float,
+                         rng: np.random.Generator) -> KnowledgeGraph:
+    """Add corrupted triplets whose tails are existing but wrong entities."""
+    count = int(round(fraction * kg.num_triplets))
+    idx = rng.integers(0, kg.num_triplets, size=count)
+    corrupted = kg.triplets[idx].copy()
+    existing = kg.triplet_set()
+    tails = rng.integers(0, kg.num_entities, size=count)
+    for i in range(count):
+        tries = 0
+        while ((int(corrupted[i, 0]), int(corrupted[i, 1]), int(tails[i]))
+               in existing and tries < 10):
+            tails[i] = rng.integers(0, kg.num_entities)
+            tries += 1
+    corrupted[:, 2] = tails
+    return kg.with_triplets(np.concatenate([kg.triplets, corrupted]))
+
+
+def inject_noise(kg: KnowledgeGraph, kind: str, fraction: float,
+                 rng: np.random.Generator) -> KnowledgeGraph:
+    """Dispatch on the noise ``kind`` (paper uses fraction = 0.2)."""
+    injectors = {
+        "outlier": inject_outliers,
+        "duplicate": inject_duplicates,
+        "discrepancy": inject_discrepancies,
+    }
+    if kind not in injectors:
+        raise ValueError(f"unknown noise kind {kind!r}; "
+                         f"expected one of {NOISE_KINDS}")
+    return injectors[kind](kg, fraction, rng)
+
+
+def average_decrease(clean: float, noisy: float) -> float:
+    """The paper's 'Avg. Dec.' column: relative degradation in percent."""
+    if clean <= 0:
+        return 0.0
+    return 100.0 * (clean - noisy) / clean

@@ -1,0 +1,14 @@
+"""Training loop, negative sampling, early stopping, schedulers,
+checkpointing."""
+
+from .checkpoint import load_checkpoint, peek_metadata, save_checkpoint
+from .early_stopping import EarlyStopping
+from .sampler import BPRSampler
+from .schedulers import (ConstantLR, CosineAnnealingLR, LRScheduler, StepLR,
+                         WarmupLR, build_scheduler)
+from .trainer import TrainConfig, TrainResult, train_model
+
+__all__ = ["EarlyStopping", "BPRSampler", "TrainConfig", "TrainResult",
+           "train_model", "save_checkpoint", "load_checkpoint",
+           "peek_metadata", "LRScheduler", "ConstantLR", "StepLR",
+           "CosineAnnealingLR", "WarmupLR", "build_scheduler"]

@@ -1,0 +1,71 @@
+"""Model checkpointing: save/restore parameters as ``.npz`` archives.
+
+Keeps the training loop restartable and lets the benchmark harnesses
+reuse trained models across processes. Only parameter tensors are stored
+(plus a small JSON header); frozen graphs are rebuilt from the dataset,
+which is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..autograd.nn import Module
+
+HEADER_KEY = "__checkpoint_header__"
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: Module, path: str | Path,
+                    metadata: dict | None = None) -> None:
+    """Write a model's parameters (and optional metadata) to ``path``.
+
+    Metadata must be JSON-serializable; typical content is the model
+    name, dataset name, epoch count and evaluation numbers.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "metadata": metadata or {},
+    }
+    arrays = dict(model.state_dict())
+    arrays[HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(model: Module, path: str | Path) -> dict:
+    """Restore parameters into ``model``; returns the stored metadata.
+
+    Raises if the checkpoint was written by a different model class or
+    has mismatched parameter shapes.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        header_bytes = archive[HEADER_KEY].tobytes()
+        header = json.loads(header_bytes.decode("utf-8"))
+        if header["version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {header['version']}")
+        if header["model_class"] != type(model).__name__:
+            raise ValueError(
+                f"checkpoint was written by {header['model_class']!r}, "
+                f"not {type(model).__name__!r}")
+        state = {key: archive[key] for key in archive.files
+                 if key != HEADER_KEY}
+    model.load_state_dict(state)
+    if hasattr(model, "invalidate"):
+        model.invalidate()
+    return header["metadata"]
+
+
+def peek_metadata(path: str | Path) -> dict:
+    """Read a checkpoint's metadata without instantiating a model."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        header = json.loads(archive[HEADER_KEY].tobytes().decode("utf-8"))
+    return {"model_class": header["model_class"], **header["metadata"]}

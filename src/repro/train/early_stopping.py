@@ -1,0 +1,33 @@
+"""Early stopping on a validation metric (the paper trains 300 epochs with
+early stopping; we use the same mechanism at reduced epoch counts)."""
+
+from __future__ import annotations
+
+
+class EarlyStopping:
+    """Stop when the monitored value fails to improve ``patience`` times.
+
+    Keeps the best value and the epoch it occurred at; callers may snapshot
+    model state when :meth:`update` returns True (improved).
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_value = -float("inf")
+        self.best_epoch = -1
+        self._bad_epochs = 0
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record a new validation value; returns True if it improved."""
+        if value > self.best_value + self.min_delta:
+            self.best_value = value
+            self.best_epoch = epoch
+            self._bad_epochs = 0
+            return True
+        self._bad_epochs += 1
+        return False
+
+    @property
+    def should_stop(self) -> bool:
+        return self._bad_epochs >= self.patience

@@ -1,0 +1,72 @@
+"""Negative sampling for BPR-style pairwise training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BPRSampler:
+    """Negative sampler over warm items.
+
+    Negatives are drawn from the *warm* item set only (cold items are by
+    definition unseen in training) and re-drawn while they collide with the
+    user's positive set. ``strategy`` selects the proposal distribution:
+
+    * ``"uniform"`` — every warm item equally likely (the paper's setup);
+    * ``"popularity"`` — probability proportional to ``count^alpha``
+      (word2vec-style), which sharpens ranking pressure on head items.
+    """
+
+    def __init__(self, train_interactions: np.ndarray, num_items: int,
+                 warm_items: np.ndarray, rng: np.random.Generator,
+                 strategy: str = "uniform", alpha: float = 0.75):
+        self.train = np.asarray(train_interactions, dtype=np.int64)
+        self.num_items = num_items
+        self.warm_items = np.asarray(warm_items, dtype=np.int64)
+        self.rng = rng
+        self.strategy = strategy
+        self._positives: dict[int, set] = {}
+        for user, item in self.train:
+            self._positives.setdefault(int(user), set()).add(int(item))
+        if strategy == "uniform":
+            self._probs = None
+        elif strategy == "popularity":
+            counts = np.zeros(num_items)
+            items, freq = np.unique(self.train[:, 1], return_counts=True)
+            counts[items] = freq
+            weights = np.power(counts[self.warm_items] + 1.0, alpha)
+            self._probs = weights / weights.sum()
+        else:
+            raise ValueError(f"unknown sampling strategy {strategy!r}")
+
+    def _draw(self, size: int) -> np.ndarray:
+        if self._probs is None:
+            return self.warm_items[
+                self.rng.integers(0, len(self.warm_items), size=size)]
+        return self.rng.choice(self.warm_items, size=size, p=self._probs)
+
+    def positives_of(self, user: int) -> set:
+        return self._positives.get(int(user), set())
+
+    def sample_negatives(self, users: np.ndarray) -> np.ndarray:
+        """One warm negative per user, avoiding their training positives."""
+        negatives = self._draw(len(users))
+        for i, user in enumerate(users):
+            positives = self._positives.get(int(user), set())
+            tries = 0
+            while int(negatives[i]) in positives and tries < 20:
+                negatives[i] = self._draw(1)[0]
+                tries += 1
+        return negatives
+
+    def epoch_batches(self, batch_size: int):
+        """Yield ``(users, pos_items, neg_items)`` batches covering the
+        training set once in random order."""
+        perm = self.rng.permutation(len(self.train))
+        shuffled = self.train[perm]
+        for start in range(0, len(shuffled), batch_size):
+            batch = shuffled[start:start + batch_size]
+            users = batch[:, 0]
+            pos = batch[:, 1]
+            neg = self.sample_negatives(users)
+            yield users, pos, neg

@@ -1,0 +1,102 @@
+"""Learning-rate schedules for the shared training loop.
+
+The paper trains with a fixed Adam learning rate; these schedules are the
+standard extensions a production training loop needs (step decay, cosine
+annealing, linear warmup) and are exercised by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..autograd.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: computes a multiplier on the optimizer's initial LR."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = -1
+        self.step()
+
+    def multiplier(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.multiplier(self.epoch)
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    def multiplier(self, epoch: int) -> float:
+        return 1.0
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.5):
+        self.step_size = step_size
+        self.gamma = gamma
+        super().__init__(optimizer)
+
+    def multiplier(self, epoch: int) -> float:
+        return self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr_fraction: float = 0.01):
+        self.total_epochs = max(total_epochs, 1)
+        self.min_fraction = min_lr_fraction
+        super().__init__(optimizer)
+
+    def multiplier(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_fraction + (1.0 - self.min_fraction) * cosine
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup over the first ``warmup_epochs``, then a wrapped
+    schedule (constant by default)."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after: LRScheduler | None = None):
+        self.warmup_epochs = max(warmup_epochs, 1)
+        self.after = after
+        super().__init__(optimizer)
+
+    def multiplier(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return (epoch + 1) / self.warmup_epochs
+        if self.after is not None:
+            return self.after.multiplier(epoch - self.warmup_epochs)
+        return 1.0
+
+
+def build_scheduler(name: str, optimizer: Optimizer, epochs: int) -> LRScheduler:
+    """Factory used by the CLI: constant | step | cosine | warmup-cosine."""
+    if name == "constant":
+        return ConstantLR(optimizer)
+    if name == "step":
+        return StepLR(optimizer, step_size=max(epochs // 3, 1))
+    if name == "cosine":
+        return CosineAnnealingLR(optimizer, epochs)
+    if name == "warmup-cosine":
+        base_lr = optimizer.lr
+        inner = CosineAnnealingLR(optimizer, epochs)
+        optimizer.lr = base_lr  # undo the inner schedule's initial step
+        return WarmupLR(optimizer, warmup_epochs=max(epochs // 10, 1),
+                        after=inner)
+    raise ValueError(f"unknown scheduler {name!r}")

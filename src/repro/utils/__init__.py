@@ -1,0 +1,5 @@
+"""Shared utilities: seeding, logging, table rendering."""
+
+from .seeding import rng_from_seed, spawn
+
+__all__ = ["rng_from_seed", "spawn"]

@@ -1,0 +1,49 @@
+"""Plain-text rendering of paper-style result tables."""
+
+from __future__ import annotations
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    Column order follows the first row's key order; missing values render
+    as empty cells.
+    """
+    if not rows:
+        return title or ""
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        if value is None:
+            return ""
+        return str(value)
+
+    cells = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(val.ljust(w) for val, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def scenario_rows(name: str, family: str, result) -> list[dict]:
+    """Flatten a ScenarioResult into Cold/Warm/HM rows (Table II layout)."""
+    out = []
+    for setting, metrics in (("Cold", result.cold), ("Warm", result.warm),
+                             ("HM", result.hm)):
+        row = {"Setting": setting, "Type": family, "Method": name}
+        row.update(metrics.as_percent_row())
+        out.append(row)
+    return out

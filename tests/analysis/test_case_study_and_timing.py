@@ -1,0 +1,62 @@
+"""Tests for the Fig. 7 case study and Table VII timing harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.case_study import (run_case_study,
+                                       similar_items_under_subset)
+from repro.analysis.timing import measure_feature_sets
+from repro.core import FirzenModel
+from repro.train import TrainConfig, train_model
+
+
+@pytest.fixture(scope="module")
+def firzen(tiny_dataset):
+    model = FirzenModel(tiny_dataset, embedding_dim=16,
+                        rng=np.random.default_rng(0))
+    train_model(model, tiny_dataset,
+                TrainConfig(epochs=2, eval_every=2, batch_size=128))
+    return model
+
+
+class TestCaseStudy:
+    def test_all_subsets_return_k_items(self, firzen, tiny_dataset):
+        for subset in ("modality", "kg", "complete"):
+            result = similar_items_under_subset(
+                firzen, tiny_dataset, query=0, subset=subset, k=5)
+            assert len(result.items) == 5
+            assert 0 not in result.items  # query excluded
+
+    def test_diversity_and_purity_in_range(self, firzen, tiny_dataset):
+        result = similar_items_under_subset(
+            firzen, tiny_dataset, query=3, subset="complete", k=5)
+        assert 0.0 < result.brand_diversity <= 1.0
+        assert 0.0 <= result.category_purity <= 1.0
+
+    def test_run_case_study_covers_all(self, firzen, tiny_dataset):
+        results = run_case_study(firzen, tiny_dataset, queries=[0, 1], k=3)
+        assert len(results) == 6  # 2 queries x 3 subsets
+        assert {r.subset for r in results} \
+            == {"modality", "kg", "complete"}
+
+    def test_unknown_subset_raises(self, firzen, tiny_dataset):
+        with pytest.raises(ValueError):
+            similar_items_under_subset(firzen, tiny_dataset, 0, "audio")
+
+
+class TestTiming:
+    def test_rows_and_monotone_training_cost(self, tiny_dataset):
+        rows = measure_feature_sets(
+            tiny_dataset,
+            TrainConfig(epochs=1, eval_every=1, batch_size=256))
+        labels = [r.label for r in rows]
+        assert labels == ["BA", "BA+KA", "BA+KA+VA", "BA+KA+VA+TA"]
+        for row in rows:
+            assert row.train_seconds > 0
+            assert row.cold_inference_ms_per_user > 0
+            assert row.warm_inference_ms_per_user > 0
+        # Adding the knowledge graph must increase training cost (the
+        # paper's headline Table VII observation).
+        assert rows[1].train_seconds > rows[0].train_seconds

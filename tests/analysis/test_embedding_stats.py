@@ -1,0 +1,96 @@
+"""Tests for embedding-space diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.embedding_stats import (alignment, cold_warm_stats,
+                                            uniformity,
+                                            user_item_alignment)
+
+
+class TestAlignment:
+    def test_identical_pairs_zero(self, rng):
+        x = rng.normal(size=(20, 8))
+        assert alignment(x, x.copy()) == pytest.approx(0.0)
+
+    def test_opposite_pairs_maximal(self, rng):
+        x = rng.normal(size=(20, 8))
+        assert alignment(x, -x) == pytest.approx(4.0)
+
+    def test_random_pairs_around_two(self, rng):
+        a = rng.normal(size=(500, 16))
+        b = rng.normal(size=(500, 16))
+        assert 1.6 < alignment(a, b) < 2.4
+
+
+class TestUniformity:
+    def test_uniform_more_negative_than_collapsed(self, rng):
+        spread = rng.normal(size=(200, 8))
+        collapsed = np.ones((200, 8)) + 0.01 * rng.normal(size=(200, 8))
+        assert uniformity(spread) < uniformity(collapsed)
+
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(50, 4))
+        assert uniformity(x, seed=1) == uniformity(x, seed=1)
+
+
+class TestColdWarmStats:
+    def test_id_model_signature(self, rng):
+        """Small random cold vectors vs trained warm vectors: norm ratio
+        far below one (the LightGCN signature in Fig. 8)."""
+        warm = rng.normal(size=(80, 8)) * 2.0
+        cold = rng.normal(size=(20, 8)) * 0.05
+        emb = np.concatenate([warm, cold])
+        is_cold = np.zeros(100, dtype=bool)
+        is_cold[80:] = True
+        stats = cold_warm_stats(emb, is_cold)
+        assert stats.norm_ratio < 0.2
+        assert stats.cold_norm_mean < stats.warm_norm_mean
+
+    def test_mixed_model_signature(self, rng):
+        """Cold vectors drawn from the warm distribution: ratio near one
+        and positive cross-cosine structure (the Firzen signature)."""
+        base = rng.normal(size=(1, 8))
+        warm = base + 0.3 * rng.normal(size=(80, 8))
+        cold = base + 0.3 * rng.normal(size=(20, 8))
+        emb = np.concatenate([warm, cold])
+        is_cold = np.zeros(100, dtype=bool)
+        is_cold[80:] = True
+        stats = cold_warm_stats(emb, is_cold)
+        assert 0.7 < stats.norm_ratio < 1.4
+        assert stats.centroid_cosine > 0.8
+        assert stats.mean_cross_cosine > 0.3
+
+    def test_on_trained_models(self, tiny_dataset):
+        """Firzen's cold/warm norm ratio exceeds LightGCN's."""
+        from repro.baselines import create_model
+        from repro.train import TrainConfig, train_model
+        config = TrainConfig(epochs=3, eval_every=3, batch_size=128,
+                             learning_rate=0.05)
+        ratios = {}
+        for name in ("LightGCN", "Firzen"):
+            model = create_model(name, tiny_dataset, embedding_dim=16,
+                                 seed=0)
+            train_model(model, tiny_dataset, config)
+            stats = cold_warm_stats(model.item_embeddings(),
+                                    tiny_dataset.split.is_cold)
+            ratios[name] = stats.norm_ratio
+        assert ratios["Firzen"] > ratios["LightGCN"]
+
+
+class TestUserItemAlignment:
+    def test_trained_model_aligns_better_than_fresh(self, tiny_dataset):
+        from repro.baselines import create_model
+        from repro.train import TrainConfig, train_model
+        fresh = create_model("BPR", tiny_dataset, embedding_dim=16, seed=0)
+        fresh_alignment = user_item_alignment(fresh, tiny_dataset.split)
+        trained = create_model("BPR", tiny_dataset, embedding_dim=16,
+                               seed=0)
+        train_model(trained, tiny_dataset,
+                    TrainConfig(epochs=6, eval_every=6, batch_size=128,
+                                learning_rate=0.05))
+        trained_alignment = user_item_alignment(trained,
+                                                tiny_dataset.split)
+        assert trained_alignment < fresh_alignment

@@ -1,0 +1,66 @@
+"""Tests for the from-scratch t-SNE and the Fig. 8 statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsne import (centroid_distance_ratio,
+                                 distribution_overlap, tsne)
+
+
+@pytest.fixture(scope="module")
+def clustered_points():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.3, size=(30, 10))
+    b = rng.normal(0.0, 0.3, size=(30, 10)) + 4.0
+    return np.concatenate([a, b])
+
+
+class TestTsne:
+    def test_output_shape(self, clustered_points):
+        result = tsne(clustered_points, num_iters=100, seed=0)
+        assert result.embedding.shape == (60, 2)
+        assert np.isfinite(result.embedding).all()
+
+    def test_separates_clusters(self, clustered_points):
+        result = tsne(clustered_points, num_iters=200, seed=0)
+        y = result.embedding
+        within_a = np.linalg.norm(
+            y[:30] - y[:30].mean(axis=0), axis=1).mean()
+        gap = np.linalg.norm(y[:30].mean(axis=0) - y[30:].mean(axis=0))
+        assert gap > within_a
+
+    def test_kl_divergence_decreases_with_iterations(self, clustered_points):
+        short = tsne(clustered_points, num_iters=60, seed=0).kl_divergence
+        long = tsne(clustered_points, num_iters=250, seed=0).kl_divergence
+        assert long <= short + 1e-6
+
+    def test_deterministic(self, clustered_points):
+        a = tsne(clustered_points, num_iters=50, seed=3).embedding
+        b = tsne(clustered_points, num_iters=50, seed=3).embedding
+        np.testing.assert_allclose(a, b)
+
+    def test_small_input(self):
+        rng = np.random.default_rng(1)
+        result = tsne(rng.normal(size=(8, 4)), num_iters=50)
+        assert result.embedding.shape == (8, 2)
+
+
+class TestOverlapStatistics:
+    def test_identical_clouds_high_overlap(self, rng):
+        points = rng.normal(size=(100, 2))
+        overlap = distribution_overlap(points, points.copy())
+        assert overlap > 0.9
+
+    def test_disjoint_clouds_low_overlap(self, rng):
+        a = rng.normal(0, 0.2, size=(100, 2))
+        b = rng.normal(0, 0.2, size=(100, 2)) + 10.0
+        assert distribution_overlap(a, b) < 0.1
+
+    def test_centroid_ratio_orders_separation(self, rng):
+        a = rng.normal(size=(50, 2))
+        near = rng.normal(size=(50, 2)) + 0.5
+        far = rng.normal(size=(50, 2)) + 8.0
+        assert centroid_distance_ratio(a, near) \
+            < centroid_distance_ratio(a, far)

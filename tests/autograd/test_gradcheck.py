@@ -1,0 +1,208 @@
+"""Finite-difference validation of every differentiable primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import (Tensor, concat, infonce, softmax_cross_entropy,
+                            sparse_matmul, stack)
+
+
+def numeric_gradient(func, arrays, index, eps=1e-6):
+    """Central-difference gradient of sum(func(arrays)) w.r.t. one input."""
+    arr = arrays[index]
+    grad = np.zeros_like(arr)
+    flat = arr.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = func(*[Tensor(a) for a in arrays]).data.sum()
+        flat[i] = orig - eps
+        minus = func(*[Tensor(a) for a in arrays]).data.sum()
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check(func, *arrays, tol=1e-4):
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = func(*tensors)
+    out.sum().backward() if out.data.size > 1 else out.backward()
+    for i, t in enumerate(tensors):
+        expected = numeric_gradient(func, arrays, i)
+        assert t.grad is not None, f"input {i} received no gradient"
+        np.testing.assert_allclose(t.grad, expected, atol=tol,
+                                   err_msg=f"input {i}")
+
+
+@pytest.fixture()
+def arr(rng):
+    return rng.normal(size=(4, 5))
+
+
+class TestElementwise:
+    def test_add(self, rng, arr):
+        check(lambda a, b: a + b, arr, rng.normal(size=(4, 5)))
+
+    def test_add_broadcast(self, rng, arr):
+        check(lambda a, b: a + b, arr, rng.normal(size=(5,)))
+
+    def test_mul(self, rng, arr):
+        check(lambda a, b: a * b, arr, rng.normal(size=(4, 5)))
+
+    def test_sub_scalar_broadcast(self, arr):
+        check(lambda a: 1.0 - a, arr)
+
+    def test_div(self, rng, arr):
+        check(lambda a, b: a / b, arr, rng.normal(size=(4, 5)) + 3.0)
+
+    def test_pow(self, arr):
+        check(lambda a: a ** 3, arr)
+
+    def test_neg(self, arr):
+        check(lambda a: -a, arr)
+
+
+class TestNonlinearities:
+    def test_sigmoid(self, arr):
+        check(lambda a: a.sigmoid(), arr)
+
+    def test_tanh(self, arr):
+        check(lambda a: a.tanh(), arr)
+
+    def test_relu(self, arr):
+        check(lambda a: a.relu(), arr + 0.1)  # avoid kink at 0
+
+    def test_leaky_relu(self, arr):
+        check(lambda a: a.leaky_relu(0.2), arr + 0.1)
+
+    def test_exp_log(self, arr):
+        check(lambda a: (a.exp() + 1.0).log(), arr)
+
+    def test_softplus(self, arr):
+        check(lambda a: a.softplus(), arr)
+
+    def test_logsigmoid(self, arr):
+        check(lambda a: a.logsigmoid(), arr)
+
+    def test_softmax(self, arr):
+        check(lambda a: a.softmax(axis=1), arr)
+
+    def test_sqrt(self, arr):
+        check(lambda a: (a * a + 1.0).sqrt(), arr)
+
+    def test_abs(self, arr):
+        check(lambda a: a.abs(), arr + 0.1)
+
+    def test_clip_interior(self, arr):
+        check(lambda a: a.clip(-10.0, 10.0), arr)
+
+
+class TestMatrixOps:
+    def test_matmul(self, rng):
+        check(lambda a, b: a.matmul(b),
+              rng.normal(size=(3, 4)), rng.normal(size=(4, 2)))
+
+    def test_matmul_vector(self, rng):
+        check(lambda a, b: a.matmul(b),
+              rng.normal(size=(3, 4)), rng.normal(size=(4,)))
+
+    def test_transpose(self, arr):
+        check(lambda a: a.transpose().matmul(a), arr)
+
+    def test_reshape(self, arr):
+        check(lambda a: a.reshape(2, 10).sum(axis=0), arr)
+
+
+class TestReductions:
+    def test_sum_all(self, arr):
+        check(lambda a: a.sum(), arr)
+
+    def test_sum_axis(self, arr):
+        check(lambda a: a.sum(axis=0), arr)
+
+    def test_sum_keepdims(self, arr):
+        check(lambda a: a.sum(axis=1, keepdims=True) * a, arr)
+
+    def test_mean(self, arr):
+        check(lambda a: a.mean(axis=1), arr)
+
+    def test_max(self, rng):
+        # distinct values so the argmax is stable under perturbation
+        base = rng.permutation(20).reshape(4, 5).astype(float)
+        check(lambda a: a.max(axis=1), base)
+
+    def test_norm(self, arr):
+        check(lambda a: a.norm(axis=1), arr)
+
+    def test_normalize(self, arr):
+        check(lambda a: a.normalize(axis=1), arr)
+
+
+class TestIndexing:
+    def test_getitem(self, arr):
+        check(lambda a: a[1:3], arr)
+
+    def test_take_rows_with_duplicates(self, arr):
+        check(lambda a: a.take_rows([0, 0, 2, 3]), arr)
+
+    def test_fancy_index_pairs(self, arr):
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 3, 0])
+        check(lambda a: a[(rows, cols)], arr)
+
+
+class TestCombinators:
+    def test_concat(self, rng):
+        check(lambda a, b: concat([a, b], axis=1),
+              rng.normal(size=(3, 2)), rng.normal(size=(3, 4)))
+
+    def test_stack(self, rng):
+        check(lambda a, b: stack([a, b], axis=0).sum(axis=0),
+              rng.normal(size=(3, 2)), rng.normal(size=(3, 2)))
+
+    def test_sparse_matmul(self, rng):
+        matrix = sp.random(6, 4, density=0.5, random_state=3, format="csr")
+        check(lambda x: sparse_matmul(matrix, x).tanh(),
+              rng.normal(size=(4, 3)))
+
+    def test_infonce(self, rng):
+        check(lambda a, b: infonce(a, b),
+              rng.normal(size=(5, 4)), rng.normal(size=(5, 4)))
+
+    def test_softmax_cross_entropy(self, rng):
+        target = np.array([0, 2, 1])
+        check(lambda a: softmax_cross_entropy(a, target),
+              rng.normal(size=(3, 4)))
+
+
+class TestGraphStructure:
+    def test_gradient_accumulates_across_uses(self, rng):
+        a = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        out = (a * 2.0).sum() + (a * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 3), 5.0))
+
+    def test_detach_blocks_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = (a.detach() * a).sum()
+        out.backward()
+        # gradient only through the non-detached factor
+        np.testing.assert_allclose(a.grad, a.data)
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        x = a
+        for _ in range(2000):
+            x = x * 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(4))
+
+    def test_backward_requires_scalar(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward()

@@ -1,0 +1,148 @@
+"""Tests for neural-network modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.nn import (BatchNorm1d, Dropout, Embedding, LeakyReLU,
+                               Linear, Module, MultiHeadSelfAttention,
+                               Sequential, Sigmoid)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_bias_disabled(self, rng):
+        layer = Linear(5, 3, rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 5))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_parameters_receive_gradients(self, rng):
+        layer = Linear(5, 3, rng)
+        layer(Tensor(rng.normal(size=(4, 5)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_matches_weight_rows(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([2, 5]))
+        np.testing.assert_allclose(out.data, emb.weight.data[[2, 5]])
+
+    def test_gradient_scatters_to_rows(self, rng):
+        emb = Embedding(10, 4, rng)
+        emb(np.array([1, 1, 3])).sum().backward()
+        assert np.all(emb.weight.grad[1] == 2.0)
+        assert np.all(emb.weight.grad[3] == 1.0)
+        assert np.all(emb.weight.grad[0] == 0.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(5, 5)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_train_mode_zeroes_and_scales(self, rng):
+        drop = Dropout(0.5, rng)
+        x = Tensor(np.ones((200, 10)))
+        out = drop(x).data
+        zeros = (out == 0).mean()
+        assert 0.3 < zeros < 0.7
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self, rng):
+        bn = BatchNorm1d(4)
+        x = Tensor(rng.normal(3.0, 2.0, size=(100, 4)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(4, momentum=1.0)
+        x = Tensor(rng.normal(3.0, 2.0, size=(100, 4)))
+        bn(x)
+        bn.eval()
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+
+class TestModuleDiscovery:
+    def test_nested_parameters_found(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(3, 3, rng), Linear(3, 2, rng)]
+                self.by_name = {"extra": Linear(2, 2, rng)}
+
+        net = Net()
+        # 3 layers x (weight + bias)
+        assert len(net.parameters()) == 6
+        assert len(net.named_parameters()) == 6
+
+    def test_state_dict_roundtrip(self, rng):
+        layer = Linear(4, 4, rng)
+        state = layer.state_dict()
+        layer.weight.data[...] = 0.0
+        layer.load_state_dict(state)
+        assert not np.allclose(layer.weight.data, 0.0)
+
+    def test_load_state_dict_rejects_bad_shape(self, rng):
+        layer = Linear(4, 4, rng)
+        with pytest.raises(ValueError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(3, 3, rng), Dropout(0.5, rng))
+        seq.eval()
+        assert not seq.layers[1].training
+        seq.train()
+        assert seq.layers[1].training
+
+
+class TestSequentialStack:
+    def test_discriminator_architecture_runs(self, rng):
+        net = Sequential(
+            Linear(10, 8, rng), LeakyReLU(0.2), BatchNorm1d(8),
+            Dropout(0.2, rng), Linear(8, 1, rng), Sigmoid())
+        out = net(Tensor(rng.normal(size=(6, 10))))
+        assert out.shape == (6, 1)
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+
+class TestMultiHeadSelfAttention:
+    def test_preserves_shapes(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        mods = [Tensor(rng.normal(size=(5, 8))) for _ in range(2)]
+        fused = attn(mods)
+        assert len(fused) == 2
+        assert all(f.shape == (5, 8) for f in fused)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, rng)
+
+    def test_single_modality_passthrough_is_finite(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        fused = attn([Tensor(rng.normal(size=(5, 8)))])
+        assert np.all(np.isfinite(fused[0].data))
+
+    def test_gradients_reach_projections(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        mods = [Tensor(rng.normal(size=(5, 8)), requires_grad=True)
+                for _ in range(2)]
+        fused = attn(mods)
+        (fused[0].sum() + fused[1].sum()).backward()
+        assert attn.w_query[0].grad is not None
+        assert mods[0].grad is not None

@@ -1,0 +1,72 @@
+"""Tests for frozen sparse propagation and normalizations."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import (Tensor, build_bipartite_adjacency, row_normalize,
+                            row_softmax, sparse_matmul, symmetric_normalize)
+
+
+class TestSparseMatmul:
+    def test_matches_dense(self, rng):
+        matrix = sp.random(5, 4, density=0.6, random_state=0, format="csr")
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_allclose(
+            sparse_matmul(matrix, x).data, matrix.toarray() @ x.data)
+
+    def test_gradient_is_transpose_product(self, rng):
+        matrix = sp.random(5, 4, density=0.6, random_state=0, format="csr")
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        sparse_matmul(matrix, x).sum().backward()
+        expected = matrix.T @ np.ones((5, 3))
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestNormalizations:
+    def test_symmetric_normalize_zero_rows_stay_zero(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        out = symmetric_normalize(adjacency).toarray()
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[1], 0.0)
+
+    def test_symmetric_normalize_regular_graph(self):
+        # cycle of 4 nodes, each degree 2 -> every entry 1/2
+        adjacency = sp.csr_matrix(np.array(
+            [[0, 1, 0, 1], [1, 0, 1, 0], [0, 1, 0, 1], [1, 0, 1, 0]],
+            dtype=float))
+        out = symmetric_normalize(adjacency).toarray()
+        np.testing.assert_allclose(out[out > 0], 0.5)
+
+    def test_row_normalize_rows_sum_to_one(self, rng):
+        dense = (rng.random((5, 5)) > 0.5).astype(float)
+        dense[0] = 0.0  # zero row must survive
+        out = row_normalize(sp.csr_matrix(dense)).toarray()
+        sums = out.sum(axis=1)
+        for row, total in enumerate(sums):
+            if dense[row].sum() > 0:
+                np.testing.assert_allclose(total, 1.0)
+            else:
+                np.testing.assert_allclose(total, 0.0)
+
+    def test_row_softmax_distributes_over_nonzeros(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 3.0, 0.0], [0.0, 0.0, 0.0]]))
+        out = row_softmax(matrix).toarray()
+        np.testing.assert_allclose(out[0].sum(), 1.0)
+        assert out[0, 1] > out[0, 0]       # higher count -> higher weight
+        assert out[0, 2] == 0.0            # absent edge gets no mass
+        np.testing.assert_allclose(out[1], 0.0)
+
+
+class TestBipartite:
+    def test_structure(self):
+        adj = build_bipartite_adjacency(
+            2, 3, np.array([0, 1]), np.array([0, 2]))
+        dense = adj.toarray()
+        assert dense.shape == (5, 5)
+        assert dense[0, 2] == 1 and dense[2, 0] == 1   # user0 - item0
+        assert dense[1, 4] == 1 and dense[4, 1] == 1   # user1 - item2
+        np.testing.assert_allclose(dense, dense.T)     # symmetric
+        assert dense[:2, :2].sum() == 0                # no user-user edges
+        assert dense[2:, 2:].sum() == 0                # no item-item edges

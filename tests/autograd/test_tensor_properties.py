@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) on the tensor algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                   allow_infinity=False)
+small_matrix = arrays(np.float64, (3, 4), elements=finite)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix, small_matrix)
+def test_addition_commutes(a, b):
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix)
+def test_softmax_rows_sum_to_one(a):
+    rows = Tensor(a).softmax(axis=1).data.sum(axis=1)
+    np.testing.assert_allclose(rows, np.ones(3), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix)
+def test_softmax_invariant_to_shift(a):
+    base = Tensor(a).softmax(axis=1).data
+    shifted = Tensor(a + 100.0).softmax(axis=1).data
+    np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix)
+def test_sigmoid_bounded(a):
+    out = Tensor(a * 100).sigmoid().data
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix)
+def test_normalize_unit_norm(a):
+    from hypothesis import assume
+    assume(np.all(np.linalg.norm(a, axis=1) > 1e-3))
+    norms = np.linalg.norm(Tensor(a).normalize(axis=1).data, axis=1)
+    np.testing.assert_allclose(norms, np.ones(3), atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix, small_matrix)
+def test_linearity_of_gradient(a, b):
+    """grad of sum(a*b) w.r.t. a equals b exactly."""
+    ta = Tensor(a, requires_grad=True)
+    (ta * Tensor(b)).sum().backward()
+    np.testing.assert_allclose(ta.grad, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix)
+def test_logsigmoid_matches_log_of_sigmoid(a):
+    direct = Tensor(a).logsigmoid().data
+    composed = np.log(Tensor(a).sigmoid().data)
+    np.testing.assert_allclose(direct, composed, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrix)
+def test_mean_equals_sum_over_count(a):
+    np.testing.assert_allclose(
+        Tensor(a).mean(axis=0).data, Tensor(a).sum(axis=0).data / 3.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2))
+def test_take_rows_gradient_counts_duplicates(row):
+    a = Tensor(np.ones((3, 2)), requires_grad=True)
+    a.take_rows([row, row]).sum().backward()
+    expected = np.zeros((3, 2))
+    expected[row] = 2.0
+    np.testing.assert_allclose(a.grad, expected)

@@ -1,0 +1,67 @@
+"""Tests for the LATTICE and FREEDOM extra baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_model
+from repro.train import TrainConfig, train_model
+
+QUICK = TrainConfig(epochs=3, eval_every=3, batch_size=128,
+                    learning_rate=0.05)
+
+
+@pytest.mark.parametrize("name", ["LATTICE", "FREEDOM"])
+class TestBothModels:
+    def test_train_and_score(self, tiny_dataset, name):
+        model = create_model(name, tiny_dataset, embedding_dim=16, seed=0)
+        result = train_model(model, tiny_dataset, QUICK)
+        assert np.isfinite(result.losses).all()
+        scores = model.score_users(np.arange(3))
+        assert scores.shape == (3, tiny_dataset.num_items)
+        assert np.isfinite(scores).all()
+
+
+class TestLatticeGraphMining:
+    def test_graphs_refresh_during_training(self, tiny_dataset):
+        model = create_model("LATTICE", tiny_dataset, embedding_dim=16,
+                             seed=0, graph_refresh_every=1)
+        before = model.item_graphs["text"].train_adjacency.copy()
+        train_model(model, tiny_dataset, QUICK)
+        after = model.item_graphs["text"].train_adjacency
+        # The mined graph differs from the raw-feature graph.
+        assert (before != after).nnz > 0
+
+    def test_no_refresh_when_interval_large(self, tiny_dataset):
+        model = create_model("LATTICE", tiny_dataset, embedding_dim=16,
+                             seed=0, graph_refresh_every=1000)
+        before = model.item_graphs["text"].train_adjacency.copy()
+        train_model(model, tiny_dataset, QUICK)
+        after = model.item_graphs["text"].train_adjacency
+        assert (before != after).nnz == 0
+
+
+class TestFreedomFrozenGraphs:
+    def test_item_graphs_never_change(self, tiny_dataset):
+        model = create_model("FREEDOM", tiny_dataset, embedding_dim=16,
+                             seed=0)
+        before = model.item_graphs["text"].train_adjacency.copy()
+        train_model(model, tiny_dataset, QUICK)
+        after = model.item_graphs["text"].train_adjacency
+        assert (before != after).nnz == 0
+
+    def test_denoising_drops_edges(self, tiny_dataset):
+        model = create_model("FREEDOM", tiny_dataset, embedding_dim=16,
+                             seed=0, edge_drop=0.5)
+        full = model.graph.norm_adjacency.nnz
+        denoised = model._denoised_adjacency().nnz
+        assert denoised < full
+
+    def test_inference_uses_full_graph(self, tiny_dataset):
+        """Denoising is train-only; inference must be deterministic."""
+        model = create_model("FREEDOM", tiny_dataset, embedding_dim=16,
+                             seed=0)
+        a = model.compute_representations()[1]
+        b = model.compute_representations()[1]
+        np.testing.assert_allclose(a, b)

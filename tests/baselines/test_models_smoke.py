@@ -1,0 +1,63 @@
+"""Smoke tests: every registered model constructs, trains, and scores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (MODEL_FAMILIES, available_models, create_model,
+                             model_family)
+from repro.eval import evaluate_model
+from repro.train import TrainConfig, train_model
+
+QUICK = TrainConfig(epochs=2, eval_every=2, batch_size=128,
+                    learning_rate=0.05)
+
+
+@pytest.mark.parametrize("name", available_models())
+class TestEveryModel:
+    def test_train_and_score(self, tiny_dataset, name):
+        model = create_model(name, tiny_dataset, embedding_dim=16, seed=0)
+        result = train_model(model, tiny_dataset, QUICK)
+        assert np.isfinite(result.losses).all()
+
+        scores = model.score_users(np.array([0, 1, 2]))
+        assert scores.shape == (3, tiny_dataset.num_items)
+        assert np.isfinite(scores).all()
+
+        bundle = evaluate_model(model, tiny_dataset.split, k=10)
+        for metrics in (bundle.cold, bundle.warm):
+            assert 0.0 <= metrics.recall <= 1.0
+
+    def test_item_embeddings_available(self, tiny_dataset, name):
+        model = create_model(name, tiny_dataset, embedding_dim=16, seed=0)
+        emb = model.item_embeddings()
+        assert emb.shape[0] == tiny_dataset.num_items
+        assert np.isfinite(emb).all()
+
+
+class TestRegistry:
+    def test_fifteen_baselines(self):
+        assert len(MODEL_FAMILIES) == 15
+
+    def test_firzen_included(self):
+        assert "Firzen" in available_models()
+        assert "Firzen" not in available_models(include_firzen=False)
+
+    def test_families(self):
+        assert model_family("BPR") == "CF"
+        assert model_family("KGAT") == "KG"
+        assert model_family("VBPR") == "MM"
+        assert model_family("DropoutNet") == "CS"
+        assert model_family("MKGAT") == "MM+KG"
+        assert model_family("Firzen") == "MM+KG"
+
+    def test_unknown_model_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            create_model("DeepFM", tiny_dataset)
+
+    def test_family_flags(self, tiny_dataset):
+        vbpr = create_model("VBPR", tiny_dataset, embedding_dim=8)
+        kgat = create_model("KGAT", tiny_dataset, embedding_dim=8)
+        assert vbpr.uses_modalities and not vbpr.uses_kg
+        assert kgat.uses_kg and not kgat.uses_modalities

@@ -1,0 +1,46 @@
+"""Shared fixtures: small synthetic datasets and trained-model caches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.data.world import WorldConfig
+
+
+def tiny_config(seed: int = 0) -> WorldConfig:
+    """A world small enough for sub-second model construction."""
+    return WorldConfig(
+        num_users=60,
+        num_items=40,
+        num_clusters=4,
+        latent_dim=8,
+        interactions_per_user_mean=8.0,
+        text_feature_dim=12,
+        image_feature_dim=16,
+        vocab_size=120,
+        cluster_vocab_size=12,
+        num_brands=8,
+        num_categories=5,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return build_dataset("tiny", tiny_config())
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Slightly larger world for evaluation-shape tests."""
+    config = tiny_config(seed=1)
+    config.num_users = 120
+    config.num_items = 90
+    return build_dataset("small", config)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,120 @@
+"""Unit tests for the SAHGL encoders and importance fusion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.nn import Embedding
+from repro.core.config import FirzenConfig
+from repro.core.sahgl import (BehaviorEncoder, ImportanceFusion,
+                              KnowledgeEncoder, ModalityEncoder)
+from repro.graphs.ckg import build_collaborative_kg
+from repro.graphs.interaction import InteractionGraph
+
+
+@pytest.fixture()
+def graph(tiny_dataset):
+    return InteractionGraph(tiny_dataset.num_users, tiny_dataset.num_items,
+                            tiny_dataset.split.train)
+
+
+class TestBehaviorEncoder:
+    def test_output_shapes(self, tiny_dataset, graph, rng):
+        u = Embedding(tiny_dataset.num_users, 16, rng)
+        i = Embedding(tiny_dataset.num_items, 16, rng)
+        encoder = BehaviorEncoder(graph, u, i, num_layers=2)
+        user_out, item_out = encoder()
+        assert user_out.shape == (tiny_dataset.num_users, 16)
+        assert item_out.shape == (tiny_dataset.num_items, 16)
+
+
+class TestModalityEncoder:
+    def test_cold_items_get_zero(self, tiny_dataset, graph, rng):
+        """eq. 8 aggregates over interactions; cold items have none."""
+        encoder = ModalityEncoder(tiny_dataset, graph, "text", 16, 0.0, rng)
+        encoder.eval()
+        x_u, x_i, projected = encoder()
+        cold = tiny_dataset.split.cold_items
+        np.testing.assert_allclose(x_i.data[cold], 0.0, atol=1e-12)
+
+    def test_projected_covers_all_items(self, tiny_dataset, graph, rng):
+        encoder = ModalityEncoder(tiny_dataset, graph, "text", 16, 0.0, rng)
+        encoder.eval()
+        _, _, projected = encoder()
+        assert projected.shape == (tiny_dataset.num_items, 16)
+        assert np.isfinite(projected.data).all()
+
+    def test_user_part_depends_on_history(self, tiny_dataset, graph, rng):
+        encoder = ModalityEncoder(tiny_dataset, graph, "text", 16, 0.0, rng)
+        encoder.eval()
+        x_u, _, _ = encoder()
+        degrees = graph.user_degree()
+        active = degrees > 0
+        assert np.abs(x_u.data[active]).sum() > 0
+
+
+class TestKnowledgeEncoder:
+    def test_cold_items_get_nonzero(self, tiny_dataset, rng):
+        """Cold items stay connected through the KG — the knowledge-aware
+        path must produce informative embeddings for them."""
+        ckg = build_collaborative_kg(
+            tiny_dataset.kg, tiny_dataset.split.train, tiny_dataset.num_users)
+        u = Embedding(tiny_dataset.num_users, 16, rng)
+        i = Embedding(tiny_dataset.num_items, 16, rng)
+        encoder = KnowledgeEncoder(ckg, u, i, 16, 1, rng)
+        x_users, x_items = encoder()
+        cold = tiny_dataset.split.cold_items
+        assert np.abs(x_items.data[cold]).sum() > 0
+        assert x_users.shape == (tiny_dataset.num_users, 16)
+
+    def test_node_matrix_layout(self, tiny_dataset, rng):
+        ckg = build_collaborative_kg(
+            tiny_dataset.kg, tiny_dataset.split.train, tiny_dataset.num_users)
+        u = Embedding(tiny_dataset.num_users, 16, rng)
+        i = Embedding(tiny_dataset.num_items, 16, rng)
+        encoder = KnowledgeEncoder(ckg, u, i, 16, 1, rng)
+        nodes = encoder.node_matrix()
+        assert nodes.shape == (ckg.num_nodes, 16)
+        np.testing.assert_allclose(
+            nodes.data[:tiny_dataset.num_items], i.weight.data)
+        np.testing.assert_allclose(
+            nodes.data[ckg.num_entities:], u.weight.data)
+
+
+class TestImportanceFusion:
+    def test_equal_initial_betas(self):
+        fusion = ImportanceFusion(FirzenConfig(), ("text", "image"))
+        assert fusion.beta["text"] == pytest.approx(0.5)
+
+    def test_momentum_update_direction(self):
+        config = FirzenConfig(beta_momentum=0.5)
+        fusion = ImportanceFusion(config, ("text", "image"))
+        fusion.update_beta({"text": 2.0, "image": 0.0})
+        assert fusion.beta["text"] > fusion.beta["image"]
+        assert (fusion.beta["text"] + fusion.beta["image"]) \
+            == pytest.approx(1.0, abs=1e-9)
+
+    def test_high_momentum_resists_change(self):
+        config = FirzenConfig(beta_momentum=0.9999)
+        fusion = ImportanceFusion(config, ("text", "image"))
+        fusion.update_beta({"text": 100.0, "image": 0.0})
+        assert abs(fusion.beta["text"] - 0.5) < 0.001
+
+    def test_fusion_weights_components(self, rng):
+        from repro.autograd import Tensor
+        config = FirzenConfig(lambda_k=0.5, lambda_m=2.0)
+        fusion = ImportanceFusion(config, ("text",))
+        behavior = (Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2))))
+        knowledge = (Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2))))
+        modal = {"text": (Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2))))}
+        fused_u, fused_i = fusion(behavior, knowledge, modal)
+        # 1 + 0.5 + 2.0 * 1.0 (beta_text = 1 for single modality)
+        np.testing.assert_allclose(fused_u.data, 3.5)
+
+    def test_fusion_handles_missing_components(self):
+        from repro.autograd import Tensor
+        fusion = ImportanceFusion(FirzenConfig(), ())
+        fused_u, fused_i = fusion(
+            (Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2)))), None, {})
+        np.testing.assert_allclose(fused_u.data, 1.0)

@@ -1,0 +1,56 @@
+"""Tests for dataset serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_identity(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+
+        assert loaded.name == tiny_dataset.name
+        assert loaded.num_users == tiny_dataset.num_users
+        assert loaded.num_items == tiny_dataset.num_items
+        assert set(loaded.modalities) == set(tiny_dataset.modalities)
+        np.testing.assert_array_equal(loaded.split.train,
+                                      tiny_dataset.split.train)
+        np.testing.assert_array_equal(loaded.split.cold_items,
+                                      tiny_dataset.split.cold_items)
+        np.testing.assert_allclose(loaded.features["text"],
+                                   tiny_dataset.features["text"])
+        np.testing.assert_array_equal(loaded.kg.triplets,
+                                      tiny_dataset.kg.triplets)
+        assert loaded.kg.num_relations == tiny_dataset.kg.num_relations
+
+    def test_normal_cold_fields_preserved(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.split.cold_test_known,
+                                      tiny_dataset.split.cold_test_known)
+
+    def test_loaded_dataset_trains_a_model(self, tiny_dataset, tmp_path):
+        from repro.baselines import create_model
+        from repro.train import TrainConfig, train_model
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        model = create_model("LightGCN", loaded, embedding_dim=8, seed=0)
+        result = train_model(model, loaded,
+                             TrainConfig(epochs=1, eval_every=1,
+                                         batch_size=128))
+        assert np.isfinite(result.losses).all()
+
+    def test_statistics_match(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        a = tiny_dataset.statistics()
+        b = loaded.statistics()
+        assert a.num_interactions == b.num_interactions
+        assert a.num_triplets == b.num_triplets

@@ -1,0 +1,88 @@
+"""Tests for knowledge-graph construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.kg_builder import (RELATION_INDEX, RELATIONS,
+                                   build_knowledge_graph)
+from repro.data.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(
+        num_users=80, num_items=50, vocab_size=100, cluster_vocab_size=10,
+        num_brands=8, num_categories=5, seed=9))
+
+
+@pytest.fixture(scope="module")
+def kg(world):
+    return build_knowledge_graph(world)
+
+
+class TestSchema:
+    def test_six_relations(self, kg):
+        assert kg.num_relations == 6
+        assert len(RELATIONS) == 6
+
+    def test_items_are_lowest_entity_ids(self, kg, world):
+        assert kg.num_items == 50
+        # produced_by triplets must have item heads
+        produced = kg.triplets[kg.triplets[:, 1]
+                               == RELATION_INDEX["produced_by"]]
+        assert produced[:, 0].max() < 50
+
+    def test_every_item_has_brand_and_category(self, kg, world):
+        for relation in ("produced_by", "belong_to"):
+            rows = kg.triplets[kg.triplets[:, 1] == RELATION_INDEX[relation]]
+            assert set(rows[:, 0].tolist()) == set(range(50))
+
+    def test_brand_tails_in_brand_range(self, kg, world):
+        produced = kg.triplets[kg.triplets[:, 1]
+                               == RELATION_INDEX["produced_by"]]
+        tails = produced[:, 2]
+        num_features = kg.num_entities - 50 - 8 - 5
+        brand_base = 50 + num_features
+        assert tails.min() >= brand_base
+        assert tails.max() < brand_base + 8
+
+    def test_entity_ids_in_range(self, kg):
+        assert kg.triplets[:, [0, 2]].max() < kg.num_entities
+        assert kg.triplets.min() >= 0
+
+    def test_no_duplicate_triplets(self, kg):
+        assert len(kg.triplet_set()) == kg.num_triplets
+
+    def test_labels_cover_all_entities(self, kg):
+        assert len(kg.entity_labels) == kg.num_entities
+
+
+class TestCooccurrenceRelations:
+    def test_item_item_relations_present(self, kg):
+        for relation in ("also_bought", "also_viewed", "bought_together"):
+            rows = kg.triplets[kg.triplets[:, 1] == RELATION_INDEX[relation]]
+            assert len(rows) > 0
+            assert rows[:, 2].max() < kg.num_items  # tails are items
+
+    def test_brand_matches_world(self, kg, world):
+        produced = kg.triplets[kg.triplets[:, 1]
+                               == RELATION_INDEX["produced_by"]]
+        num_features = kg.num_entities - 50 - 8 - 5
+        brand_base = 50 + num_features
+        for head, _, tail in produced[:10]:
+            assert world.item_brand[head] == tail - brand_base
+
+
+class TestMutation:
+    def test_with_triplets_preserves_metadata(self, kg):
+        sub = kg.with_triplets(kg.triplets[:10])
+        assert sub.num_triplets == 10
+        assert sub.num_entities == kg.num_entities
+        assert sub.num_relations == kg.num_relations
+
+    def test_neighbors_of(self, kg):
+        head = int(kg.triplets[0, 0])
+        neighbors = kg.neighbors_of(head)
+        assert np.all(neighbors[:, 0] == head)

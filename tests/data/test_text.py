@@ -1,0 +1,84 @@
+"""Tests for the TF-IDF feature-word selection pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.text import (document_frequencies, select_feature_words,
+                             term_frequencies, tfidf_scores)
+
+
+@pytest.fixture()
+def corpus():
+    return [
+        (0, 0, ["shampoo", "hair", "great"]),
+        (1, 0, ["shampoo", "clean"]),
+        (2, 1, ["lipstick", "red", "great"]),
+        (3, 1, ["lipstick", "color"]),
+        (4, 2, ["brush", "soft", "great"]),
+    ]
+
+
+class TestFrequencies:
+    def test_term_counts(self, corpus):
+        docs = [words for _, _, words in corpus]
+        freq = term_frequencies(docs)
+        assert freq["shampoo"] == 2
+        assert freq["great"] == 3
+
+    def test_document_frequencies_dedupe_within_doc(self):
+        freq = document_frequencies([["a", "a", "b"], ["a"]])
+        assert freq["a"] == 2
+        assert freq["b"] == 1
+
+
+class TestTfidf:
+    def test_ubiquitous_word_scores_zero(self):
+        docs = [["common", "x"], ["common", "y"], ["common", "z"]]
+        scores = tfidf_scores(docs)
+        assert scores["common"] == 0.0
+        assert scores["x"] > 0.0
+
+    def test_rare_focused_word_scores_high(self):
+        docs = [["rare"], ["a", "b", "c"], ["a", "b", "c"]]
+        scores = tfidf_scores(docs)
+        assert scores["rare"] > scores["a"]
+
+    def test_empty_corpus(self):
+        assert tfidf_scores([]) == {}
+
+
+class TestSelection:
+    def test_frequency_window_applied(self, corpus):
+        result = select_feature_words(corpus, min_frequency=2,
+                                      max_frequency=2, min_score=0.0)
+        assert "shampoo" in result.selected_words
+        assert "great" not in result.selected_words    # freq 3 > max 2
+        assert "red" not in result.selected_words      # freq 1 < min 2
+
+    def test_item_words_mapping(self, corpus):
+        result = select_feature_words(corpus, min_frequency=1,
+                                      max_frequency=10, min_score=0.0)
+        assert "shampoo" in result.item_words[0]
+        assert "lipstick" in result.item_words[1]
+        assert "shampoo" not in result.item_words.get(1, [])
+
+    def test_score_threshold_filters(self, corpus):
+        strict = select_feature_words(corpus, min_frequency=1,
+                                      max_frequency=10, min_score=10.0)
+        assert strict.selected_words == []
+
+    def test_selected_words_sorted_and_unique(self, corpus):
+        result = select_feature_words(corpus, min_frequency=1,
+                                      max_frequency=10, min_score=0.0)
+        assert result.selected_words == sorted(set(result.selected_words))
+
+    def test_synthetic_world_selects_topical_words(self):
+        from repro.data.world import WorldConfig, generate_world
+        world = generate_world(WorldConfig(
+            num_users=60, num_items=40, vocab_size=100,
+            cluster_vocab_size=10, seed=5))
+        result = select_feature_words(world.reviews, min_frequency=10,
+                                      max_frequency=1000, min_score=0.02)
+        assert len(result.selected_words) > 0

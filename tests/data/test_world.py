@@ -1,0 +1,105 @@
+"""Tests for the synthetic world generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.world import WorldConfig, apply_k_core, generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(
+        num_users=80, num_items=50, num_clusters=4, latent_dim=8,
+        vocab_size=100, cluster_vocab_size=10, seed=7))
+
+
+class TestGeneration:
+    def test_shapes(self, world):
+        config = world.config
+        assert world.user_latents.shape == (80, 8)
+        assert world.item_latents.shape == (50, 8)
+        assert world.text_features.shape == (50, config.text_feature_dim)
+        assert world.image_features.shape == (50, config.image_feature_dim)
+        assert world.item_brand.shape == (50,)
+        assert world.item_category.shape == (50,)
+
+    def test_deterministic_given_seed(self):
+        config = WorldConfig(num_users=30, num_items=20, seed=3)
+        a = generate_world(config)
+        b = generate_world(config)
+        np.testing.assert_array_equal(a.interactions, b.interactions)
+        np.testing.assert_allclose(a.text_features, b.text_features)
+
+    def test_different_seeds_differ(self):
+        a = generate_world(WorldConfig(num_users=30, num_items=20, seed=3))
+        b = generate_world(WorldConfig(num_users=30, num_items=20, seed=4))
+        assert not np.array_equal(a.interactions, b.interactions)
+
+    def test_interactions_valid_and_unique_per_user(self, world):
+        inter = world.interactions
+        assert inter[:, 0].min() >= 0 and inter[:, 0].max() < 80
+        assert inter[:, 1].min() >= 0 and inter[:, 1].max() < 50
+        pairs = set(map(tuple, inter))
+        assert len(pairs) == len(inter)
+
+    def test_every_user_has_at_least_five(self, world):
+        _, counts = np.unique(world.interactions[:, 0], return_counts=True)
+        assert counts.min() >= 5
+
+    def test_one_review_per_interaction(self, world):
+        assert len(world.reviews) == len(world.interactions)
+
+    def test_interactions_respect_latent_affinity(self, world):
+        """Interacted pairs should have above-average latent affinity —
+        the property every preference model here tries to recover."""
+        scores = world.user_latents @ world.item_latents.T
+        interacted = scores[world.interactions[:, 0],
+                            world.interactions[:, 1]]
+        assert interacted.mean() > scores.mean() + 0.5
+
+    def test_features_correlate_with_clusters(self, world):
+        """Items in the same cluster should have more similar text features
+        than items in different clusters (the cold-start transfer signal)."""
+        feats = world.text_features
+        unit = feats / np.linalg.norm(feats, axis=1, keepdims=True)
+        sims = unit @ unit.T
+        same = world.item_clusters[:, None] == world.item_clusters[None, :]
+        np.fill_diagonal(same, False)
+        off_diag = ~np.eye(len(feats), dtype=bool)
+        assert sims[same].mean() > sims[~same & off_diag].mean() + 0.1
+
+    def test_brand_mostly_cluster_determined(self, world):
+        """With fidelity 0.85, most items in a cluster share one brand."""
+        majority_share = []
+        for cluster in np.unique(world.item_clusters):
+            brands = world.item_brand[world.item_clusters == cluster]
+            _, counts = np.unique(brands, return_counts=True)
+            majority_share.append(counts.max() / len(brands))
+        assert np.mean(majority_share) > 0.6
+
+
+class TestKCore:
+    def test_removes_sparse_users(self):
+        inter = np.array([[0, 0], [0, 1], [0, 2], [0, 3], [0, 4],
+                          [1, 0], [1, 1]])
+        out = apply_k_core(inter, k=5)
+        assert set(out[:, 0]) == {0}
+
+    def test_keeps_everything_when_dense(self, world):
+        out = apply_k_core(world.interactions, k=5)
+        assert len(out) == len(world.interactions)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_all_surviving_users_meet_threshold(self, k):
+        rng = np.random.default_rng(k)
+        inter = np.stack([rng.integers(0, 10, 60),
+                          rng.integers(0, 15, 60)], axis=1)
+        out = apply_k_core(inter, k=k)
+        if len(out):
+            _, counts = np.unique(out[:, 0], return_counts=True)
+            assert counts.min() >= k

@@ -1,0 +1,124 @@
+"""Tests for ranking metrics, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (MetricResult, evaluate_rankings,
+                                harmonic_mean, harmonic_mean_result,
+                                hit_at_k, mrr_at_k, ndcg_at_k,
+                                precision_at_k, recall_at_k)
+
+RANKED = np.array([5, 3, 8, 1, 9])
+
+
+class TestPointMetrics:
+    def test_recall(self):
+        assert recall_at_k(RANKED, {3, 9, 100}, 5) == pytest.approx(2 / 3)
+
+    def test_recall_empty_relevant(self):
+        assert recall_at_k(RANKED, set(), 5) == 0.0
+
+    def test_precision(self):
+        assert precision_at_k(RANKED, {3, 9}, 5) == pytest.approx(0.4)
+
+    def test_hit(self):
+        assert hit_at_k(RANKED, {9}, 5) == 1.0
+        assert hit_at_k(RANKED, {9}, 2) == 0.0
+
+    def test_mrr_first_position(self):
+        assert mrr_at_k(RANKED, {5}, 5) == 1.0
+
+    def test_mrr_later_position(self):
+        assert mrr_at_k(RANKED, {8}, 5) == pytest.approx(1 / 3)
+
+    def test_mrr_no_hit(self):
+        assert mrr_at_k(RANKED, {42}, 5) == 0.0
+
+    def test_ndcg_perfect_ranking(self):
+        assert ndcg_at_k(np.array([1, 2]), {1, 2}, 2) == pytest.approx(1.0)
+
+    def test_ndcg_worst_position(self):
+        partial = ndcg_at_k(np.array([0, 0, 0, 0, 7]), {7}, 5)
+        assert 0 < partial < 1
+
+    def test_ndcg_truncates_ideal(self):
+        # 3 relevant, k=2: perfect top-2 should be NDCG 1
+        assert ndcg_at_k(np.array([1, 2]), {1, 2, 3}, 2) == pytest.approx(1.0)
+
+
+class TestAveraging:
+    def test_average_over_users(self):
+        rankings = {0: np.array([1, 2]), 1: np.array([3, 4])}
+        truth = {0: {1}, 1: {9}}
+        result = evaluate_rankings(rankings, truth, k=2)
+        assert result.recall == pytest.approx(0.5)
+        assert result.num_users == 2
+
+    def test_user_missing_ranking_counts_zero(self):
+        result = evaluate_rankings({}, {0: {1}}, k=2)
+        assert result.recall == 0.0
+        assert result.num_users == 1
+
+    def test_no_users(self):
+        result = evaluate_rankings({}, {}, k=2)
+        assert result.num_users == 0
+
+    def test_percent_row(self):
+        result = MetricResult(20, 0.123, 0.2, 0.3, 0.4, 0.5, 10)
+        row = result.as_percent_row()
+        assert row["R@20"] == 12.3
+        assert row["M@20"] == 20.0
+
+
+class TestHarmonicMean:
+    def test_zero_side_gives_zero(self):
+        assert harmonic_mean(0.0, 0.8) == 0.0
+
+    def test_equal_sides(self):
+        assert harmonic_mean(0.4, 0.4) == pytest.approx(0.4)
+
+    def test_penalizes_short_barrel(self):
+        assert harmonic_mean(0.01, 0.99) < 0.02
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.001, 1.0), st.floats(0.001, 1.0))
+    def test_bounded_by_min_and_max(self, a, b):
+        hm = harmonic_mean(a, b)
+        assert min(a, b) - 1e-12 <= hm <= max(a, b) + 1e-12
+
+    def test_metricwise(self):
+        cold = MetricResult(20, 0.2, 0.2, 0.2, 0.2, 0.2, 5)
+        warm = MetricResult(20, 0.4, 0.4, 0.4, 0.4, 0.4, 7)
+        hm = harmonic_mean_result(cold, warm)
+        assert hm.recall == pytest.approx(2 * 0.2 * 0.4 / 0.6)
+
+    def test_mismatched_k_raises(self):
+        cold = MetricResult(10, 0.2, 0.2, 0.2, 0.2, 0.2, 5)
+        warm = MetricResult(20, 0.4, 0.4, 0.4, 0.4, 0.4, 7)
+        with pytest.raises(ValueError):
+            harmonic_mean_result(cold, warm)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=10, unique=True),
+       st.sets(st.integers(0, 30), min_size=1, max_size=5))
+def test_metric_invariants(ranked, relevant):
+    """All metrics live in [0,1]; recall <= hit; mrr <= hit."""
+    ranked = np.asarray(ranked)
+    k = len(ranked)
+    values = {
+        "recall": recall_at_k(ranked, relevant, k),
+        "precision": precision_at_k(ranked, relevant, k),
+        "hit": hit_at_k(ranked, relevant, k),
+        "mrr": mrr_at_k(ranked, relevant, k),
+        "ndcg": ndcg_at_k(ranked, relevant, k),
+    }
+    for name, value in values.items():
+        assert 0.0 <= value <= 1.0, name
+    assert values["recall"] <= values["hit"] + 1e-12
+    assert values["mrr"] <= values["hit"] + 1e-12
+    assert values["ndcg"] <= values["hit"] + 1e-12

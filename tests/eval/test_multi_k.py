@@ -1,0 +1,54 @@
+"""Tests for multi-cutoff evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import evaluate_at_ks, evaluate_scenario
+
+
+class FixedModel:
+    def __init__(self, scores):
+        self.scores = scores
+
+    def score_users(self, user_ids):
+        return self.scores[np.asarray(user_ids)]
+
+
+def _random_model(split, seed=0):
+    rng = np.random.default_rng(seed)
+    return FixedModel(rng.random((split.num_users, split.num_items)))
+
+
+class TestEvaluateAtKs:
+    def test_matches_single_k(self, tiny_dataset):
+        split = tiny_dataset.split
+        model = _random_model(split)
+        multi = evaluate_at_ks(model, split, "cold_test", ks=(5, 10))
+        single = evaluate_scenario(model, split, "cold_test", k=10)
+        assert multi[10].recall == single.recall
+        assert multi[10].mrr == single.mrr
+
+    def test_recall_monotone_in_k(self, tiny_dataset):
+        split = tiny_dataset.split
+        model = _random_model(split)
+        multi = evaluate_at_ks(model, split, "cold_test", ks=(2, 5, 10))
+        assert multi[2].recall <= multi[5].recall <= multi[10].recall
+
+    def test_hit_monotone_in_k(self, tiny_dataset):
+        split = tiny_dataset.split
+        model = _random_model(split)
+        multi = evaluate_at_ks(model, split, "warm_test", ks=(2, 20))
+        assert multi[2].hit <= multi[20].hit + 1e-9
+
+    def test_warm_masks_train_items(self, tiny_dataset):
+        split = tiny_dataset.split
+        scores = np.zeros((split.num_users, split.num_items))
+        for user, items in split.ground_truth("warm_test").items():
+            for item in items:
+                scores[user, item] = 5.0
+        for user, item in split.train:
+            scores[user, item] = 100.0
+        multi = evaluate_at_ks(FixedModel(scores), split, "warm_test",
+                               ks=(20,))
+        assert multi[20].hit == 1.0

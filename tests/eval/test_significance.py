@@ -1,0 +1,91 @@
+"""Tests for the bootstrap significance machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (compare_models, paired_bootstrap,
+                                     per_user_metric)
+
+
+class FixedModel:
+    def __init__(self, scores):
+        self.scores = scores
+
+    def score_users(self, user_ids):
+        return self.scores[np.asarray(user_ids)]
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self):
+        rng = np.random.default_rng(0)
+        users = range(200)
+        a = {u: 0.5 + 0.1 * rng.random() for u in users}
+        b = {u: 0.2 + 0.1 * rng.random() for u in users}
+        result = paired_bootstrap(a, b, num_samples=500)
+        assert result.significant
+        assert result.p_value < 0.01
+        assert result.ci_low > 0
+
+    def test_identical_not_significant(self):
+        values = {u: 0.4 for u in range(100)}
+        result = paired_bootstrap(values, dict(values), num_samples=200)
+        assert not result.significant
+        assert result.mean_difference == pytest.approx(0.0)
+
+    def test_noisy_tie_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = {u: rng.random() for u in range(50)}
+        b = {u: rng.random() for u in range(50)}
+        result = paired_bootstrap(a, b, num_samples=500)
+        assert result.p_value > 0.01 or abs(result.mean_difference) < 0.1
+
+    def test_requires_overlap(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap({0: 1.0}, {1: 1.0})
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(2)
+        a = {u: rng.random() for u in range(30)}
+        b = {u: rng.random() for u in range(30)}
+        r1 = paired_bootstrap(a, b, num_samples=100, seed=5)
+        r2 = paired_bootstrap(a, b, num_samples=100, seed=5)
+        assert r1.p_value == r2.p_value
+
+
+class TestPerUserMetric:
+    def test_oracle_gets_ones(self, tiny_dataset):
+        split = tiny_dataset.split
+        scores = np.zeros((split.num_users, split.num_items))
+        for user, items in split.ground_truth("cold_test").items():
+            for item in items:
+                scores[user, item] = 5.0
+        values = per_user_metric(FixedModel(scores), split, "cold_test",
+                                 metric="hit", k=20)
+        assert values and all(v == 1.0 for v in values.values())
+
+    def test_metric_selection(self, tiny_dataset):
+        split = tiny_dataset.split
+        scores = np.random.default_rng(0).random(
+            (split.num_users, split.num_items))
+        for metric in ("recall", "precision", "hit", "mrr", "ndcg"):
+            values = per_user_metric(FixedModel(scores), split,
+                                     "cold_test", metric=metric, k=10)
+            assert all(0.0 <= v <= 1.0 for v in values.values())
+
+
+class TestCompareModels:
+    def test_oracle_beats_random(self, tiny_dataset):
+        split = tiny_dataset.split
+        oracle_scores = np.zeros((split.num_users, split.num_items))
+        for user, items in split.ground_truth("cold_test").items():
+            for item in items:
+                oracle_scores[user, item] = 5.0
+        random_scores = np.random.default_rng(0).random(
+            (split.num_users, split.num_items))
+        result = compare_models(
+            FixedModel(oracle_scores), FixedModel(random_scores),
+            split, "cold_test", metric="mrr", k=10, num_samples=300)
+        assert result.mean_a > result.mean_b
+        assert result.significant

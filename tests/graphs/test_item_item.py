@@ -1,0 +1,110 @@
+"""Tests for the modality-specific item-item graphs (eq. 1-3, 34-35)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.item_item import (ItemItemGraph, cold_mask_matrix,
+                                    cosine_similarity_matrix, knn_sparsify)
+
+
+@pytest.fixture()
+def features(rng):
+    # two clear clusters of 5 items each
+    a = rng.normal(size=(5, 8)) * 0.1 + np.array([1.0] + [0.0] * 7)
+    b = rng.normal(size=(5, 8)) * 0.1 + np.array([0.0, 1.0] + [0.0] * 6)
+    return np.concatenate([a, b])
+
+
+class TestSimilarity:
+    def test_diagonal_is_one(self, features):
+        sims = cosine_similarity_matrix(features)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_within_cluster_higher(self, features):
+        sims = cosine_similarity_matrix(features)
+        assert sims[0, 1] > sims[0, 6]
+
+    def test_zero_rows_safe(self):
+        feats = np.zeros((3, 4))
+        feats[0] = 1.0
+        sims = cosine_similarity_matrix(feats)
+        assert np.all(np.isfinite(sims))
+
+
+class TestKnn:
+    def test_row_degree_bounded(self, features):
+        adjacency = knn_sparsify(cosine_similarity_matrix(features), 3)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        assert degrees.max() <= 3
+
+    def test_no_self_loops(self, features):
+        adjacency = knn_sparsify(cosine_similarity_matrix(features), 3)
+        assert adjacency.diagonal().sum() == 0
+
+    def test_neighbors_from_same_cluster(self, features):
+        adjacency = knn_sparsify(cosine_similarity_matrix(features), 3)
+        row = adjacency.getrow(0).indices
+        assert all(n < 5 for n in row)
+
+    def test_restrict_to_excludes_outsiders(self, features):
+        warm = np.arange(5)
+        adjacency = knn_sparsify(cosine_similarity_matrix(features), 3,
+                                 restrict_to=warm)
+        coo = adjacency.tocoo()
+        assert coo.row.max() < 5 and coo.col.max() < 5
+
+    def test_k_larger_than_candidates(self, features):
+        adjacency = knn_sparsify(cosine_similarity_matrix(features), 100)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        assert degrees.max() <= 9  # n-1
+
+
+class TestColdMask:
+    def test_blocks_cold_to_warm_only(self, features):
+        adjacency = knn_sparsify(cosine_similarity_matrix(features), 9)
+        is_cold = np.zeros(10, dtype=bool)
+        is_cold[7:] = True
+        masked = cold_mask_matrix(adjacency, is_cold).toarray()
+        full = adjacency.toarray()
+        # warm rows must not aggregate from cold columns
+        assert masked[:7, 7:].sum() == 0
+        # cold rows may aggregate from warm columns
+        assert masked[7:, :7].sum() == full[7:, :7].sum()
+        # warm-warm untouched
+        np.testing.assert_array_equal(masked[:7, :7], full[:7, :7])
+
+
+class TestItemItemGraph:
+    def test_train_view_excludes_cold(self, features):
+        warm = np.arange(7)
+        is_cold = np.zeros(10, dtype=bool)
+        is_cold[7:] = True
+        graph = ItemItemGraph("text", features, 3, warm, is_cold)
+        train = graph.adjacency("train").toarray()
+        assert train[7:, :].sum() == 0 and train[:, 7:].sum() == 0
+
+    def test_infer_view_gives_cold_items_edges(self, features):
+        warm = np.arange(7)
+        is_cold = np.zeros(10, dtype=bool)
+        is_cold[7:] = True
+        graph = ItemItemGraph("text", features, 3, warm, is_cold)
+        infer = graph.adjacency("infer").toarray()
+        assert infer[7:, :].sum() > 0          # cold rows receive
+        assert infer[:7, 7:].sum() == 0        # warm rows never from cold
+
+    def test_unmasked_view_keeps_cold_to_warm(self, features):
+        warm = np.arange(7)
+        is_cold = np.zeros(10, dtype=bool)
+        is_cold[7:] = True
+        graph = ItemItemGraph("text", features, 3, warm, is_cold)
+        unmasked = graph.adjacency("infer", masked=False).toarray()
+        masked = graph.adjacency("infer", masked=True).toarray()
+        assert unmasked[:7, 7:].sum() >= masked[:7, 7:].sum()
+
+    def test_unknown_mode_raises(self, features):
+        graph = ItemItemGraph("text", features, 3, np.arange(7),
+                              np.zeros(10, dtype=bool))
+        with pytest.raises(ValueError):
+            graph.adjacency("test")

@@ -1,0 +1,69 @@
+"""Tests for the user-user co-occurrence graph (eq. 4, 19)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.user_user import (UserUserGraph, cooccurrence_counts,
+                                    topk_per_row)
+
+
+@pytest.fixture()
+def user_item():
+    # users 0,1 share items {0,1}; user 2 shares one item with user 0
+    dense = np.array([
+        [1, 1, 1, 0],
+        [1, 1, 0, 0],
+        [0, 0, 1, 1],
+    ], dtype=float)
+    return sp.csr_matrix(dense)
+
+
+class TestCooccurrence:
+    def test_counts(self, user_item):
+        co = cooccurrence_counts(user_item).toarray()
+        assert co[0, 1] == 2
+        assert co[0, 2] == 1
+        assert co[1, 2] == 0
+
+    def test_diagonal_zero(self, user_item):
+        co = cooccurrence_counts(user_item).toarray()
+        np.testing.assert_allclose(np.diag(co), 0.0)
+
+    def test_symmetric(self, user_item):
+        co = cooccurrence_counts(user_item).toarray()
+        np.testing.assert_allclose(co, co.T)
+
+
+class TestTopK:
+    def test_keeps_largest(self, user_item):
+        co = cooccurrence_counts(user_item)
+        top1 = topk_per_row(co, 1).toarray()
+        assert top1[0, 1] == 2
+        assert top1[0, 2] == 0
+
+    def test_preserves_weights(self, user_item):
+        co = cooccurrence_counts(user_item)
+        topped = topk_per_row(co, 5).toarray()
+        np.testing.assert_allclose(topped, co.toarray())
+
+
+class TestAttention:
+    def test_rows_sum_to_one_when_nonempty(self, user_item):
+        graph = UserUserGraph(user_item, top_k=2)
+        att = graph.attention.toarray()
+        for row in range(3):
+            total = att[row].sum()
+            if graph.topk_counts.getrow(row).nnz:
+                np.testing.assert_allclose(total, 1.0)
+
+    def test_higher_cooccurrence_gets_more_weight(self, user_item):
+        graph = UserUserGraph(user_item, top_k=2)
+        att = graph.attention.toarray()
+        assert att[0, 1] > att[0, 2]
+
+    def test_neighbors_of(self, user_item):
+        graph = UserUserGraph(user_item, top_k=2)
+        assert set(graph.neighbors_of(0).tolist()) == {1, 2}

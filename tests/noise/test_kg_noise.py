@@ -1,0 +1,93 @@
+"""Tests for KG noise injection (Table V machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise import (NOISE_KINDS, average_decrease, inject_discrepancies,
+                         inject_duplicates, inject_noise, inject_outliers)
+
+
+class TestOutliers:
+    def test_adds_new_entities(self, tiny_dataset, rng):
+        kg = tiny_dataset.kg
+        noisy = inject_outliers(kg, 0.2, rng)
+        added = noisy.num_triplets - kg.num_triplets
+        assert added == int(round(0.2 * kg.num_triplets))
+        assert noisy.num_entities == kg.num_entities + added
+
+    def test_new_tails_outside_original_range(self, tiny_dataset, rng):
+        kg = tiny_dataset.kg
+        noisy = inject_outliers(kg, 0.1, rng)
+        new = noisy.triplets[kg.num_triplets:]
+        assert new[:, 2].min() >= kg.num_entities
+
+
+class TestDuplicates:
+    def test_adds_exact_copies(self, tiny_dataset, rng):
+        kg = tiny_dataset.kg
+        noisy = inject_duplicates(kg, 0.2, rng)
+        assert noisy.num_triplets > kg.num_triplets
+        # every added triplet already exists in the clean KG
+        existing = kg.triplet_set()
+        for row in noisy.triplets[kg.num_triplets:]:
+            assert tuple(int(v) for v in row) in existing
+
+    def test_entity_count_unchanged(self, tiny_dataset, rng):
+        kg = tiny_dataset.kg
+        noisy = inject_duplicates(kg, 0.2, rng)
+        assert noisy.num_entities == kg.num_entities
+
+
+class TestDiscrepancies:
+    def test_tails_exist_but_triplets_invalid(self, tiny_dataset, rng):
+        kg = tiny_dataset.kg
+        noisy = inject_discrepancies(kg, 0.2, rng)
+        existing = kg.triplet_set()
+        added = noisy.triplets[kg.num_triplets:]
+        assert added[:, 2].max() < kg.num_entities
+        invalid = sum(tuple(int(v) for v in row) not in existing
+                      for row in added)
+        assert invalid / len(added) > 0.9
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("kind", NOISE_KINDS)
+    def test_all_kinds(self, tiny_dataset, rng, kind):
+        noisy = inject_noise(tiny_dataset.kg, kind, 0.2, rng)
+        assert noisy.num_triplets > tiny_dataset.kg.num_triplets
+
+    def test_unknown_kind(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            inject_noise(tiny_dataset.kg, "gaussian", 0.2, rng)
+
+    def test_original_untouched(self, tiny_dataset, rng):
+        before = tiny_dataset.kg.num_triplets
+        inject_noise(tiny_dataset.kg, "duplicate", 0.3, rng)
+        assert tiny_dataset.kg.num_triplets == before
+
+
+class TestAverageDecrease:
+    def test_positive_degradation(self):
+        assert average_decrease(0.10, 0.05) == pytest.approx(50.0)
+
+    def test_improvement_is_negative(self):
+        assert average_decrease(0.10, 0.11) == pytest.approx(-10.0)
+
+    def test_zero_clean_guard(self):
+        assert average_decrease(0.0, 0.5) == 0.0
+
+
+class TestModelsTrainOnNoisyKG:
+    @pytest.mark.parametrize("kind", NOISE_KINDS)
+    def test_firzen_trains_with_noise(self, tiny_dataset, rng, kind):
+        from repro.baselines import create_model
+        from repro.train import TrainConfig, train_model
+        noisy_ds = tiny_dataset.with_kg(
+            inject_noise(tiny_dataset.kg, kind, 0.2, rng))
+        model = create_model("CKE", noisy_ds, embedding_dim=8, seed=0)
+        result = train_model(model, noisy_ds,
+                             TrainConfig(epochs=2, eval_every=2,
+                                         batch_size=128))
+        assert np.isfinite(result.losses).all()

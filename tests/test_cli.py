@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "BPR"])
+        assert args.model == "BPR"
+        assert args.dataset == "beauty"
+        assert args.epochs == 12
+
+    def test_compare_accepts_multiple(self):
+        args = build_parser().parse_args(
+            ["compare", "BPR", "LightGCN", "--epochs", "2"])
+        assert args.models == ["BPR", "LightGCN"]
+        assert args.epochs == 2
+
+
+class TestCommands:
+    def test_models_lists_roster(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BPR", "KGAT", "Firzen", "MWUF", "Random"):
+            assert name in out
+
+    def test_datasets_tiny(self, capsys):
+        assert main(["datasets", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon-beauty" in out
+        assert "weixin-sports" in out
+
+    def test_train_and_evaluate_roundtrip(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "bpr.npz")
+        code = main(["train", "BPR", "--size", "tiny", "--epochs", "2",
+                     "--embedding-dim", "8", "--checkpoint", ckpt])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cold" in out and "Warm" in out and "HM" in out
+
+        code = main(["evaluate", ckpt, "--embedding-dim", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BPR" in out
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "BPR", "MostPopular", "--size", "tiny",
+                     "--epochs", "1", "--embedding-dim", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MostPopular" in out

@@ -1,0 +1,118 @@
+"""End-to-end integration tests across the full pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_model
+from repro.data import build_dataset
+from repro.data.world import WorldConfig
+from repro.eval import evaluate_model, evaluate_normal_cold
+from repro.train import TrainConfig, train_model
+
+
+class TestHeadlineShape:
+    """The paper's two headline claims on a small world."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, small_dataset):
+        config = TrainConfig(epochs=8, eval_every=4, batch_size=256,
+                             learning_rate=0.05)
+        results = {}
+        for name in ("LightGCN", "Firzen"):
+            model = create_model(name, small_dataset, embedding_dim=16,
+                                 seed=0)
+            train_model(model, small_dataset, config)
+            results[name] = (model,
+                             evaluate_model(model, small_dataset.split,
+                                            k=10))
+        return results
+
+    def test_firzen_beats_cf_on_cold(self, trained):
+        assert trained["Firzen"][1].cold.recall \
+            > trained["LightGCN"][1].cold.recall
+
+    def test_firzen_warm_competitive(self, trained):
+        assert trained["Firzen"][1].warm.recall \
+            >= 0.75 * trained["LightGCN"][1].warm.recall
+
+    def test_firzen_best_harmonic_mean(self, trained):
+        assert trained["Firzen"][1].hm.recall \
+            > trained["LightGCN"][1].hm.recall
+
+    def test_normal_cold_beats_strict_cold(self, trained, small_dataset):
+        """Known links must help Firzen's cold ranking."""
+        model = trained["Firzen"][0]
+        from repro.eval import evaluate_scenario
+        strict = evaluate_scenario(model, small_dataset.split,
+                                   "cold_test_unknown", k=10)
+        model.adapt_to_interactions(small_dataset.split.cold_test_known)
+        normal = evaluate_normal_cold(model, small_dataset.split, k=10)
+        assert normal.recall >= strict.recall * 0.9
+
+
+class TestDegenerateWorlds:
+    """Failure-injection: extreme configurations must not crash."""
+
+    def test_single_cluster_world(self):
+        config = WorldConfig(num_users=40, num_items=30, num_clusters=1,
+                             vocab_size=60, cluster_vocab_size=10, seed=1)
+        dataset = build_dataset("one-cluster", config)
+        model = create_model("Firzen", dataset, embedding_dim=8, seed=0)
+        result = train_model(model, dataset,
+                             TrainConfig(epochs=1, eval_every=1,
+                                         batch_size=64))
+        assert np.isfinite(result.losses).all()
+
+    def test_tiny_item_catalog(self):
+        config = WorldConfig(num_users=30, num_items=12, num_clusters=2,
+                             vocab_size=40, cluster_vocab_size=8, seed=2)
+        dataset = build_dataset("mini", config)
+        model = create_model("LightGCN", dataset, embedding_dim=8, seed=0)
+        train_model(model, dataset, TrainConfig(epochs=1, eval_every=1,
+                                                batch_size=32))
+        bundle = evaluate_model(model, dataset.split, k=3)
+        assert 0.0 <= bundle.cold.recall <= 1.0
+
+    def test_noisy_features_world(self):
+        """Near-uninformative content: content models must still run."""
+        config = WorldConfig(num_users=40, num_items=30, text_noise=50.0,
+                             image_noise=50.0, vocab_size=60,
+                             cluster_vocab_size=10, seed=3)
+        dataset = build_dataset("noisy", config)
+        model = create_model("VBPR", dataset, embedding_dim=8, seed=0)
+        result = train_model(model, dataset,
+                             TrainConfig(epochs=1, eval_every=1,
+                                         batch_size=64))
+        assert np.isfinite(result.losses).all()
+
+    def test_informative_features_help_cold(self):
+        """Property of the world generator: decreasing content noise
+        improves a content model's cold ranking."""
+        def cold_recall(noise, seed=4):
+            config = WorldConfig(num_users=100, num_items=80,
+                                 text_noise=noise, image_noise=noise,
+                                 vocab_size=80, cluster_vocab_size=10,
+                                 seed=seed)
+            dataset = build_dataset(f"noise-{noise}", config)
+            model = create_model("VBPR", dataset, embedding_dim=16, seed=0)
+            train_model(model, dataset,
+                        TrainConfig(epochs=6, eval_every=3, batch_size=128,
+                                    learning_rate=0.05))
+            return evaluate_model(model, dataset.split, k=10).cold.recall
+
+        assert cold_recall(0.2) > cold_recall(20.0)
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, tiny_dataset):
+        scores = []
+        for _ in range(2):
+            model = create_model("Firzen", tiny_dataset, embedding_dim=8,
+                                 seed=11)
+            train_model(model, tiny_dataset,
+                        TrainConfig(epochs=2, eval_every=2, batch_size=128,
+                                    seed=11))
+            scores.append(model.score_users(np.arange(4)).copy())
+        np.testing.assert_allclose(scores[0], scores[1])

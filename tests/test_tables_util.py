@@ -1,0 +1,33 @@
+"""Tests for table rendering helpers."""
+
+from repro.eval.metrics import MetricResult
+from repro.eval.protocol import ScenarioResult
+from repro.utils.tables import format_table, scenario_rows
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"Method": "BPR", "R@20": 1.23}, {"Method": "Firzen",
+                                                  "R@20": 4.56}]
+        text = format_table(rows, title="Table II")
+        assert "Table II" in text
+        assert "BPR" in text and "Firzen" in text
+        assert "4.56" in text
+
+    def test_empty(self):
+        assert format_table([], title="x") == "x"
+
+    def test_missing_cells(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows)
+        assert "b" in text
+
+
+class TestScenarioRows:
+    def test_three_settings(self):
+        cold = MetricResult(20, 0.1, 0.1, 0.1, 0.1, 0.1, 4)
+        warm = MetricResult(20, 0.2, 0.2, 0.2, 0.2, 0.2, 4)
+        rows = scenario_rows("Firzen", "MM+KG", ScenarioResult(cold, warm))
+        assert [r["Setting"] for r in rows] == ["Cold", "Warm", "HM"]
+        assert rows[0]["R@20"] == 10.0
+        assert rows[2]["R@20"] > 0

@@ -1,0 +1,74 @@
+"""Tests for model checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_model
+from repro.train import (TrainConfig, load_checkpoint, peek_metadata,
+                         save_checkpoint, train_model)
+
+
+@pytest.fixture()
+def trained_bpr(tiny_dataset):
+    model = create_model("BPR", tiny_dataset, embedding_dim=16, seed=0)
+    train_model(model, tiny_dataset,
+                TrainConfig(epochs=2, eval_every=2, batch_size=128))
+    return model
+
+
+class TestRoundTrip:
+    def test_scores_identical_after_reload(self, tiny_dataset, trained_bpr,
+                                           tmp_path):
+        path = tmp_path / "bpr.npz"
+        save_checkpoint(trained_bpr, path, metadata={"epochs": 2})
+        fresh = create_model("BPR", tiny_dataset, embedding_dim=16, seed=9)
+        meta = load_checkpoint(fresh, path)
+        assert meta == {"epochs": 2}
+        np.testing.assert_allclose(
+            fresh.score_users(np.arange(5)),
+            trained_bpr.score_users(np.arange(5)))
+
+    def test_firzen_roundtrip(self, tiny_dataset, tmp_path):
+        model = create_model("Firzen", tiny_dataset, embedding_dim=16,
+                             seed=0)
+        train_model(model, tiny_dataset,
+                    TrainConfig(epochs=1, eval_every=1, batch_size=128))
+        path = tmp_path / "firzen.npz"
+        save_checkpoint(model, path)
+        fresh = create_model("Firzen", tiny_dataset, embedding_dim=16,
+                             seed=0)
+        load_checkpoint(fresh, path)
+        fresh.eval()
+        model.eval()
+        model.invalidate()
+        np.testing.assert_allclose(
+            fresh.score_users(np.arange(3)),
+            model.score_users(np.arange(3)), atol=1e-10)
+
+    def test_peek_metadata(self, trained_bpr, tmp_path):
+        path = tmp_path / "bpr.npz"
+        save_checkpoint(trained_bpr, path, metadata={"dataset": "tiny"})
+        meta = peek_metadata(path)
+        assert meta["model_class"] == "BPRModel"
+        assert meta["dataset"] == "tiny"
+
+
+class TestValidation:
+    def test_wrong_model_class_rejected(self, tiny_dataset, trained_bpr,
+                                        tmp_path):
+        path = tmp_path / "bpr.npz"
+        save_checkpoint(trained_bpr, path)
+        other = create_model("LightGCN", tiny_dataset, embedding_dim=16,
+                             seed=0)
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_wrong_shape_rejected(self, tiny_dataset, trained_bpr,
+                                  tmp_path):
+        path = tmp_path / "bpr.npz"
+        save_checkpoint(trained_bpr, path)
+        other = create_model("BPR", tiny_dataset, embedding_dim=8, seed=0)
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)

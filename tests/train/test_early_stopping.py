@@ -1,0 +1,34 @@
+"""Tests for early stopping."""
+
+from repro.train.early_stopping import EarlyStopping
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert stopper.update(0.1, 0)
+        assert not stopper.update(0.05, 1)
+        assert stopper.update(0.2, 2)
+        assert not stopper.should_stop
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        assert not stopper.should_stop
+        stopper.update(0.3, 2)
+        assert stopper.should_stop
+
+    def test_best_tracked(self):
+        stopper = EarlyStopping(patience=3)
+        stopper.update(0.1, 0)
+        stopper.update(0.9, 1)
+        stopper.update(0.4, 2)
+        assert stopper.best_value == 0.9
+        assert stopper.best_epoch == 1
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(0.5, 0)
+        assert not stopper.update(0.55, 1)  # below delta
+        assert stopper.should_stop

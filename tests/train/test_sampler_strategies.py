@@ -1,0 +1,47 @@
+"""Tests for negative-sampling strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.train.sampler import BPRSampler
+
+
+def _sampler(tiny_dataset, strategy, seed=0, **kw):
+    return BPRSampler(tiny_dataset.split.train, tiny_dataset.num_items,
+                      tiny_dataset.split.warm_items,
+                      np.random.default_rng(seed), strategy=strategy, **kw)
+
+
+class TestPopularityStrategy:
+    def test_popular_items_oversampled(self, tiny_dataset):
+        sampler = _sampler(tiny_dataset, "popularity", alpha=1.0)
+        counts = np.zeros(tiny_dataset.num_items)
+        items, freq = np.unique(tiny_dataset.split.train[:, 1],
+                                return_counts=True)
+        counts[items] = freq
+        warm = tiny_dataset.split.warm_items
+        popular = warm[np.argmax(counts[warm])]
+        rare = warm[np.argmin(counts[warm])]
+        draws = sampler._draw(4000)
+        popular_rate = float((draws == popular).mean())
+        rare_rate = float((draws == rare).mean())
+        assert popular_rate > rare_rate
+
+    def test_negatives_still_warm_and_clean(self, tiny_dataset):
+        sampler = _sampler(tiny_dataset, "popularity")
+        warm = set(tiny_dataset.split.warm_items.tolist())
+        users = tiny_dataset.split.train[:100, 0]
+        negatives = sampler.sample_negatives(users)
+        assert all(int(n) in warm for n in negatives)
+
+    def test_unknown_strategy_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            _sampler(tiny_dataset, "adversarial")
+
+    def test_uniform_covers_warm_items(self, tiny_dataset):
+        sampler = _sampler(tiny_dataset, "uniform")
+        draws = sampler._draw(5000)
+        covered = len(set(draws.tolist()))
+        assert covered > 0.8 * len(tiny_dataset.split.warm_items)

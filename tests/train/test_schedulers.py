@@ -1,0 +1,80 @@
+"""Tests for learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.optim import Adam
+from repro.train.schedulers import (ConstantLR, CosineAnnealingLR, StepLR,
+                                    WarmupLR, build_scheduler)
+
+
+def make_optimizer(lr=0.1):
+    param = Tensor(np.zeros(2), requires_grad=True)
+    return Adam([param], lr=lr)
+
+
+class TestSchedules:
+    def test_constant(self):
+        opt = make_optimizer()
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_decay(self):
+        opt = make_optimizer()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.current_lr]
+        for _ in range(4):
+            sched.step()
+            lrs.append(sched.current_lr)
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[2] == pytest.approx(0.05)
+        assert lrs[4] == pytest.approx(0.025)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = make_optimizer()
+        sched = CosineAnnealingLR(opt, total_epochs=10)
+        lrs = [sched.current_lr]
+        for _ in range(10):
+            sched.step()
+            lrs.append(sched.current_lr)
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == pytest.approx(0.1 * 0.01, rel=0.01)
+
+    def test_warmup_ramps_then_holds(self):
+        opt = make_optimizer()
+        sched = WarmupLR(opt, warmup_epochs=4)
+        lrs = [sched.current_lr]
+        for _ in range(6):
+            sched.step()
+            lrs.append(sched.current_lr)
+        assert lrs[0] == pytest.approx(0.1 / 4)
+        assert lrs[3] == pytest.approx(0.1)
+        assert lrs[6] == pytest.approx(0.1)
+
+    def test_factory_names(self):
+        for name in ("constant", "step", "cosine", "warmup-cosine"):
+            opt = make_optimizer()
+            sched = build_scheduler(name, opt, epochs=10)
+            sched.step()
+            assert 0.0 < opt.lr <= 0.1 + 1e-12
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            build_scheduler("exponential", make_optimizer(), 10)
+
+
+class TestTrainerIntegration:
+    def test_schedule_applies_during_training(self, tiny_dataset):
+        from repro.baselines import create_model
+        from repro.train import TrainConfig, train_model
+        model = create_model("BPR", tiny_dataset, embedding_dim=8, seed=0)
+        result = train_model(
+            model, tiny_dataset,
+            TrainConfig(epochs=3, eval_every=3, batch_size=128,
+                        lr_schedule="cosine"))
+        assert np.isfinite(result.losses).all()

@@ -1,0 +1,61 @@
+"""Integration tests for the shared training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import create_model
+from repro.train import TrainConfig, train_model
+
+
+def quick_config(**kw):
+    defaults = dict(epochs=4, eval_every=2, batch_size=128,
+                    learning_rate=0.05, patience=10)
+    defaults.update(kw)
+    return TrainConfig(**defaults)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_dataset):
+        model = create_model("BPR", tiny_dataset, embedding_dim=16, seed=0)
+        result = train_model(model, tiny_dataset, quick_config(epochs=8))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_records_history(self, tiny_dataset):
+        model = create_model("BPR", tiny_dataset, embedding_dim=16, seed=0)
+        result = train_model(model, tiny_dataset, quick_config())
+        assert result.epochs_run == 4
+        assert len(result.losses) == 4
+        assert len(result.val_history) == 2
+        assert result.train_seconds > 0
+
+    def test_best_state_restored(self, tiny_dataset):
+        """After training, the model carries its best-validation weights."""
+        model = create_model("BPR", tiny_dataset, embedding_dim=16, seed=0)
+        result = train_model(model, tiny_dataset, quick_config())
+        assert result.best_epoch >= 0
+
+    def test_early_stop_caps_epochs(self, tiny_dataset):
+        model = create_model("BPR", tiny_dataset, embedding_dim=16, seed=0)
+        config = quick_config(epochs=40, eval_every=1, patience=2,
+                              learning_rate=0.0)  # frozen -> no improvement
+        result = train_model(model, tiny_dataset, config)
+        assert result.epochs_run < 40
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        losses = []
+        for _ in range(2):
+            model = create_model("BPR", tiny_dataset, embedding_dim=16,
+                                 seed=7)
+            result = train_model(model, tiny_dataset, quick_config(seed=7))
+            losses.append(result.losses)
+        np.testing.assert_allclose(losses[0], losses[1])
+
+    def test_monitor_variants(self, tiny_dataset):
+        for monitor in ("hm_recall", "warm_recall", "cold_recall"):
+            model = create_model("BPR", tiny_dataset, embedding_dim=8,
+                                 seed=0)
+            result = train_model(
+                model, tiny_dataset,
+                quick_config(epochs=2, eval_every=1, monitor=monitor))
+            assert result.epochs_run >= 1
