@@ -6,22 +6,31 @@ Items with Frozen Heterogeneous and Homogeneous Graphs for Recommendation"
 strict cold-start benchmarks, and harnesses regenerating every table and
 figure of the paper's evaluation.
 
-Quickstart::
+Quickstart — train, evaluate, then serve batched queries (including
+items onboarded after training)::
 
     from repro.data import load_amazon
     from repro.baselines import create_model
     from repro.train import TrainConfig, train_model
     from repro.eval import evaluate_model
+    from repro.serve import BatchRanker, EmbeddingStore
 
     dataset = load_amazon("beauty")
     model = create_model("Firzen", dataset)
     train_model(model, dataset, TrainConfig(epochs=16))
     print(evaluate_model(model, dataset.split).hm.as_percent_row())
+
+    store = EmbeddingStore.from_model(model, dataset)   # inference snapshot
+    ranker = BatchRanker.from_store(store)
+    print(ranker.topk([0, 1, 2], k=10).items)           # batched top-k
+    new_ids = store.ingest_items({                       # online cold-start
+        "text": text_features, "image": image_features})
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, autograd, baselines, core, data, eval, graphs, noise, train
+from . import (analysis, autograd, baselines, core, data, eval, graphs,
+               noise, serve, train)
 
 __all__ = ["analysis", "autograd", "baselines", "core", "data", "eval",
-           "graphs", "noise", "train", "__version__"]
+           "graphs", "noise", "serve", "train", "__version__"]

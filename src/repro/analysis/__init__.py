@@ -4,7 +4,8 @@
 from .case_study import SimilarItems, run_case_study, similar_items_under_subset
 from .embedding_stats import (ColdWarmStats, alignment, cold_warm_stats,
                               uniformity, user_item_alignment)
-from .timing import TimingRow, measure_feature_sets
+from .timing import (ThroughputResult, TimingRow, measure_feature_sets,
+                     measure_ranking_throughput)
 from .tsne import (TSNEResult, centroid_distance_ratio, distribution_overlap,
                    tsne)
 
@@ -17,8 +18,10 @@ __all__ = [
     "SimilarItems",
     "run_case_study",
     "similar_items_under_subset",
+    "ThroughputResult",
     "TimingRow",
     "measure_feature_sets",
+    "measure_ranking_throughput",
     "TSNEResult",
     "tsne",
     "distribution_overlap",

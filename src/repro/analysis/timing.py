@@ -1,8 +1,10 @@
-"""Training / inference timing harness (paper Table VII).
+"""Training / inference timing harness (paper Table VII, extended).
 
 Measures wall-clock training time and per-user inference latency for
 Firzen variants that consume increasing feature sets: BA only, +KA, +VA,
-+TA — the exact rows of Table VII.
++TA — the exact rows of Table VII — plus the serving-layer addendum:
+full-ranking top-k throughput of the seed per-user Python loop vs the
+batched :class:`repro.serve.ranker.BatchRanker` path.
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ import numpy as np
 from ..core.config import FirzenConfig
 from ..core.firzen import FirzenModel
 from ..data.datasets import RecDataset
+from ..data.splits import ColdStartSplit
+from ..serve.ranker import BatchRanker, interactions_to_csr
 from ..train.trainer import TrainConfig, train_model
 
 
@@ -80,3 +84,142 @@ def measure_feature_sets(dataset: RecDataset,
                 model, warm_users),
         ))
     return rows
+
+
+# ----------------------------------------------------------------------
+# serving-layer addendum: per-user loop vs batched ranking throughput
+# ----------------------------------------------------------------------
+@dataclass
+class ThroughputResult:
+    """Old-vs-new full-ranking throughput for one serving scenario.
+
+    Two seed baselines are reported: ``single_query`` is how the seed
+    repo could actually serve (score + rank one user per request — its
+    only entry points were offline, one user at a time), and ``loop`` is
+    the seed evaluation protocol's inner loop (scoring batched, ranking
+    per user in Python). ``batched`` is the serving layer's blocked path.
+    """
+
+    scenario: str
+    num_users: int
+    num_candidates: int
+    k: int
+    single_query_users_per_second: float
+    loop_users_per_second: float
+    batched_users_per_second: float
+
+    @property
+    def speedup(self) -> float:
+        """Batched vs the seed's single-query serving path."""
+        return self.batched_users_per_second / max(
+            self.single_query_users_per_second, 1e-12)
+
+    @property
+    def loop_speedup(self) -> float:
+        """Batched vs the seed evaluation protocol's per-user loop."""
+        return self.batched_users_per_second / max(
+            self.loop_users_per_second, 1e-12)
+
+    def as_rows(self) -> list[dict]:
+        rows = [
+            ("single-query serving (seed)",
+             self.single_query_users_per_second, 1.0),
+            ("per-user eval loop (seed)", self.loop_users_per_second,
+             self.loop_users_per_second
+             / max(self.single_query_users_per_second, 1e-12)),
+            ("BatchRanker (blocked)", self.batched_users_per_second,
+             self.speedup),
+        ]
+        return [{"Scenario": self.scenario, "Ranking path": label,
+                 "Users": self.num_users,
+                 "Candidates": self.num_candidates,
+                 "Users/s": round(users_per_s, 1),
+                 "Speedup": round(speedup, 1)}
+                for label, users_per_s, speedup in rows]
+
+
+def _single_query_rank(model, users: np.ndarray, candidates: np.ndarray,
+                       seen: dict, k: int) -> list:
+    """The seed's serving reality: each request scores and ranks one
+    user at a time (there was no batch entry point)."""
+    from ..eval.protocol import rank_candidates
+    rankings = []
+    for user in users:
+        user_scores = model.score_users(np.asarray([user]))[0].copy()
+        for item in seen.get(int(user), ()):
+            user_scores[item] = -np.inf
+        rankings.append(rank_candidates(user_scores, candidates, k))
+    return rankings
+
+
+def _loop_rank(model, users: np.ndarray, candidates: np.ndarray,
+               seen: dict, k: int) -> list:
+    """The seed evaluation hot path: full scoring, then a per-user
+    Python loop doing set-based masking and one ranking call per user."""
+    from ..eval.protocol import rank_candidates
+    scores = model.score_users(users)
+    rankings = []
+    for row, user in enumerate(users):
+        user_scores = scores[row].copy()
+        for item in seen.get(int(user), ()):
+            user_scores[item] = -np.inf
+        rankings.append(rank_candidates(user_scores, candidates, k))
+    return rankings
+
+
+def _measure_scenario(model, ranker: BatchRanker, scenario: str,
+                      users: np.ndarray, candidates: np.ndarray,
+                      seen_sets: dict, k: int,
+                      repeats: int) -> ThroughputResult:
+    single_best = np.inf
+    loop_best = np.inf
+    batched_best = np.inf
+    mask_seen = bool(seen_sets)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _single_query_rank(model, users, candidates, seen_sets, k)
+        single_best = min(single_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        _loop_rank(model, users, candidates, seen_sets, k)
+        loop_best = min(loop_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        ranker.topk(users, k, candidates=candidates, mask_seen=mask_seen)
+        batched_best = min(batched_best, time.perf_counter() - start)
+    return ThroughputResult(
+        scenario=scenario,
+        num_users=len(users),
+        num_candidates=len(candidates),
+        k=k,
+        single_query_users_per_second=len(users) / max(single_best, 1e-12),
+        loop_users_per_second=len(users) / max(loop_best, 1e-12),
+        batched_users_per_second=len(users) / max(batched_best, 1e-12),
+    )
+
+
+def measure_ranking_throughput(model, split: ColdStartSplit,
+                               num_users: int = 256, k: int = 20,
+                               block_size: int = 256, repeats: int = 5,
+                               seed: int = 0) -> list[ThroughputResult]:
+    """Benchmark full-ranking top-k scoring, seed paths vs batched path,
+    on the paper's two serving scenarios: warm all-ranking (train items
+    masked) and strict cold-start all-ranking (the eq. 34-35 workload).
+
+    All paths start from the model's cached representation matrices and
+    produce identical top-k lists for ``num_users`` users (sampled with
+    replacement so the batch size is independent of the dataset);
+    best-of-``repeats`` wall-clock is reported as users/second.
+    """
+    rng = np.random.default_rng(seed)
+    users = rng.choice(np.unique(split.train[:, 0]), size=num_users,
+                       replace=True)
+    model.refresh()  # exclude representation computation from all paths
+    ranker = BatchRanker.from_model(model, block_size=block_size)
+    ranker.seen = interactions_to_csr(split.train, split.num_users,
+                                      split.num_items)
+    warm = _measure_scenario(
+        model, ranker, "warm", users, np.asarray(split.warm_items),
+        split.train_items_by_user(), k, repeats)
+    cold = _measure_scenario(
+        model, ranker, "cold", users, np.asarray(split.cold_items),
+        {}, k, repeats)
+    return [warm, cold]

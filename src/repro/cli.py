@@ -13,6 +13,13 @@ Commands
     Train several models and print the comparison table.
 ``models``
     List the registered models and their families.
+``export-embeddings``
+    Snapshot a trained model (fresh or from a checkpoint) into a serving
+    ``EmbeddingStore`` archive.
+``serve``
+    Answer batched top-k queries from a store/checkpoint/fresh model —
+    interactive REPL or file-driven — including online ``ingest`` of
+    brand-new cold items.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from .baselines import available_models, create_model, model_family
 from .baselines.registry import EXTRA_MODELS
 from .data import load_amazon, load_weixin
 from .eval import evaluate_model
+from .serve import EmbeddingStore, ServingSession
 from .train import TrainConfig, train_model
 from .train.checkpoint import load_checkpoint, save_checkpoint
 from .utils.tables import format_table, scenario_rows
@@ -106,19 +114,11 @@ def cmd_train(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    from .train.checkpoint import peek_metadata
-    meta = peek_metadata(args.checkpoint)
-    dataset = _load_dataset(meta.get("dataset", args.dataset),
-                            meta.get("size", args.size))
-    model = create_model(meta.get("model", args.model), dataset,
-                         embedding_dim=args.embedding_dim,
-                         seed=meta.get("seed", args.seed))
-    load_checkpoint(model, args.checkpoint)
-    model.eval()
+    model, dataset, _ = _trained_model(args)
     scenario = evaluate_model(model, dataset.split, k=args.k)
-    name = meta.get("model", args.model)
-    print(format_table(scenario_rows(name, model_family(name), scenario),
-                       title=f"{name} (from {args.checkpoint})"))
+    print(format_table(scenario_rows(model.name, model_family(model.name),
+                                     scenario),
+                       title=f"{model.name} (from {args.checkpoint})"))
     return 0
 
 
@@ -142,6 +142,73 @@ def cmd_compare(args) -> int:
             f"HM M@{args.k}": round(100 * result.hm.mrr, 2),
         })
     print(format_table(rows, title=f"Comparison on {dataset.name}"))
+    return 0
+
+
+def _trained_model(args):
+    """A trained model, its dataset, and the effective seed — from a
+    checkpoint or trained fresh (shared by ``evaluate``,
+    ``export-embeddings`` and ``serve``)."""
+    if args.checkpoint:
+        from .train.checkpoint import peek_metadata
+        meta = peek_metadata(args.checkpoint)
+        seed = meta.get("seed", args.seed)
+        dataset = _load_dataset(meta.get("dataset", args.dataset),
+                                meta.get("size", args.size))
+        model = create_model(meta.get("model", args.model), dataset,
+                             embedding_dim=args.embedding_dim, seed=seed)
+        load_checkpoint(model, args.checkpoint)
+        model.eval()
+    else:
+        seed = args.seed
+        dataset = _load_dataset(args.dataset, args.size)
+        model = create_model(args.model, dataset,
+                             embedding_dim=args.embedding_dim, seed=seed)
+        print(f"training {args.model} on {dataset.name} ...",
+              file=sys.stderr)
+        train_model(model, dataset, _train_config(args))
+    return model, dataset, seed
+
+
+def cmd_export_embeddings(args) -> int:
+    model, dataset, seed = _trained_model(args)
+    store = EmbeddingStore.from_model(model, dataset,
+                                      metadata={"seed": seed})
+    written = store.save(args.out)
+    print(format_table([store.describe()], title="Exported store"))
+    print(f"store written to {written}")
+    return 0
+
+
+def _repl_lines():
+    while True:
+        try:
+            yield input("serve> ")
+        except EOFError:
+            return
+
+
+def cmd_serve(args) -> int:
+    if args.store:
+        store = EmbeddingStore.load(args.store)
+    else:
+        model, dataset, _ = _trained_model(args)
+        store = EmbeddingStore.from_model(model, dataset)
+    session = ServingSession(store, default_k=args.k,
+                             block_size=args.block_size)
+    if args.queries:
+        with open(args.queries) as handle:
+            lines = handle.readlines()
+    else:
+        print("serving; type 'help' for commands, 'quit' to exit",
+              file=sys.stderr)
+        lines = _repl_lines()
+    for line in lines:
+        output = session.execute(line)
+        if output is None:
+            break
+        if output:
+            print(output)
     return 0
 
 
@@ -174,6 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("models", nargs="+")
     _add_common(p_compare)
     p_compare.set_defaults(func=cmd_compare)
+
+    p_export = sub.add_parser(
+        "export-embeddings",
+        help="snapshot a trained model into a serving store")
+    p_export.add_argument("out", help="output .npz path")
+    p_export.add_argument("--checkpoint", default=None)
+    p_export.add_argument("--model", default="Firzen")
+    _add_common(p_export)
+    p_export.set_defaults(func=cmd_export_embeddings)
+
+    p_serve = sub.add_parser(
+        "serve", help="batched top-k serving with online item onboarding")
+    source = p_serve.add_mutually_exclusive_group()
+    source.add_argument("--store", default=None,
+                        help="load an exported EmbeddingStore archive")
+    source.add_argument("--checkpoint", default=None,
+                        help="snapshot a training checkpoint instead")
+    p_serve.add_argument("--model", default="Firzen")
+    p_serve.add_argument("--queries", default=None,
+                         help="file with one query per line "
+                              "(default: interactive REPL)")
+    p_serve.add_argument("--block-size", type=int, default=1024)
+    _add_common(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -21,6 +21,7 @@ from .protocol import (
     evaluate_normal_cold,
     evaluate_scenario,
     rank_candidates,
+    scenario_rankings,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "evaluate_normal_cold",
     "evaluate_scenario",
     "rank_candidates",
+    "scenario_rankings",
     "EXPERIMENT_INDEX",
     "ReportStatus",
     "build_report",

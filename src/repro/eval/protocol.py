@@ -4,6 +4,12 @@ Warm setting: candidates are all *warm* items the user has not interacted
 with in training. Cold setting: candidates are all *cold* items. Scores
 come from a model's ``score_users`` method; train items are masked to
 ``-inf`` before ranking.
+
+Masking and ranking are vectorized over the user axis via the serving
+layer's kernels (:mod:`repro.serve.ranker`), replacing the seed's
+per-user Python loop; :func:`rank_candidates` remains as the one-user
+reference implementation whose semantics the batched path reproduces
+exactly.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.splits import ColdStartSplit
+from ..serve.ranker import (apply_seen_mask, interactions_to_csr,
+                            topk_from_scores)
 from .metrics import MetricResult, evaluate_rankings, harmonic_mean_result
 
 
@@ -37,12 +45,27 @@ class ScenarioResult:
 
 def rank_candidates(scores: np.ndarray, candidate_items: np.ndarray,
                     k: int) -> np.ndarray:
-    """Top-k candidate item ids by score (best first)."""
+    """Top-k candidate item ids by score (best first) for one user."""
     cand_scores = scores[candidate_items]
     k = min(k, len(candidate_items))
     top = np.argpartition(-cand_scores, k - 1)[:k]
     top = top[np.argsort(-cand_scores[top], kind="stable")]
     return candidate_items[top]
+
+
+def scenario_rankings(model, split: ColdStartSplit, users: np.ndarray,
+                      candidates: np.ndarray, k: int, cold_scenario: bool,
+                      extra_seen: dict | None = None) -> dict[int, np.ndarray]:
+    """Batched scoring + masking + ranking for one evaluation scenario."""
+    scores = np.array(model.score_users(users), dtype=np.float64,
+                      copy=True)
+    seen = None
+    if not cold_scenario:  # mask train items (warm only)
+        seen = interactions_to_csr(split.train, split.num_users,
+                                   split.num_items)
+    apply_seen_mask(scores, users, seen, extra_seen)
+    top = topk_from_scores(scores, k, candidates=candidates)
+    return {int(user): top.items[row] for row, user in enumerate(users)}
 
 
 def evaluate_scenario(model, split: ColdStartSplit, which: str,
@@ -69,18 +92,8 @@ def evaluate_scenario(model, split: ColdStartSplit, which: str,
     else:
         candidates = np.asarray(split.warm_items)
 
-    seen = split.train_items_by_user() if not cold_scenario else {}
-
-    scores = model.score_users(users)
-    rankings: dict[int, np.ndarray] = {}
-    for row, user in enumerate(users):
-        user_scores = scores[row].copy()
-        for item in seen.get(int(user), ()):  # mask train items (warm only)
-            user_scores[item] = -np.inf
-        if extra_seen:
-            for item in extra_seen.get(int(user), ()):
-                user_scores[item] = -np.inf
-        rankings[int(user)] = rank_candidates(user_scores, candidates, k)
+    rankings = scenario_rankings(model, split, users, candidates, k,
+                                 cold_scenario, extra_seen)
     return evaluate_rankings(rankings, truth, k=k)
 
 
@@ -106,16 +119,8 @@ def evaluate_at_ks(model, split: ColdStartSplit, which: str,
     cold_scenario = which.startswith("cold")
     candidates = np.asarray(split.cold_items if cold_scenario
                             else split.warm_items)
-    seen = split.train_items_by_user() if not cold_scenario else {}
-    max_k = max(ks)
-    scores = model.score_users(users)
-    rankings: dict[int, np.ndarray] = {}
-    for row, user in enumerate(users):
-        user_scores = scores[row].copy()
-        for item in seen.get(int(user), ()):
-            user_scores[item] = -np.inf
-        rankings[int(user)] = rank_candidates(user_scores, candidates,
-                                              max_k)
+    rankings = scenario_rankings(model, split, users, candidates, max(ks),
+                                 cold_scenario)
     return {k: evaluate_rankings(rankings, truth, k=k) for k in ks}
 
 

@@ -16,7 +16,7 @@ import numpy as np
 from ..data.splits import ColdStartSplit
 from .metrics import (hit_at_k, mrr_at_k, ndcg_at_k, precision_at_k,
                       recall_at_k)
-from .protocol import rank_candidates
+from .protocol import scenario_rankings
 
 _METRIC_FUNCS = {
     "recall": recall_at_k,
@@ -37,16 +37,9 @@ def per_user_metric(model, split: ColdStartSplit, which: str,
         return {}
     cold = which.startswith("cold")
     candidates = np.asarray(split.cold_items if cold else split.warm_items)
-    seen = split.train_items_by_user() if not cold else {}
-    scores = model.score_users(users)
-    values = {}
-    for row, user in enumerate(users):
-        user_scores = scores[row].copy()
-        for item in seen.get(int(user), ()):
-            user_scores[item] = -np.inf
-        ranked = rank_candidates(user_scores, candidates, k)
-        values[int(user)] = func(ranked, truth[int(user)], k)
-    return values
+    rankings = scenario_rankings(model, split, users, candidates, k, cold)
+    return {int(user): func(rankings[int(user)], truth[int(user)], k)
+            for user in users}
 
 
 @dataclass

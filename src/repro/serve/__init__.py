@@ -1,0 +1,37 @@
+"""Batched inference serving: snapshot, rank, and onboard online.
+
+Three layers (see ``docs/ARCHITECTURE.md``):
+
+* :class:`EmbeddingStore` — a trained model's final user/item
+  representations (cold-item expansions included) as contiguous
+  ``float32`` arrays with ``.npz`` persistence;
+* :class:`BatchRanker` — blocked-matmul top-k for batches of users with
+  vectorized seen-item masking; the evaluation protocol reuses its
+  ranking kernels, so the table harnesses share this hot path;
+* :func:`ingest_items` — online cold-start onboarding: brand-new items
+  with modality features extend the frozen item-item kNN graphs
+  incrementally (eq. 34-35 direction: warm -> new only) and become
+  rankable without retraining.
+
+``python -m repro serve`` and ``python -m repro export-embeddings``
+expose the stack on the command line via :class:`ServingSession`.
+"""
+
+from .onboarding import GraphExpansion, expand_item_graph, ingest_items
+from .ranker import (BatchRanker, TopKResult, apply_seen_mask,
+                     interactions_to_csr, topk_from_scores)
+from .session import ServingSession
+from .store import EmbeddingStore
+
+__all__ = [
+    "BatchRanker",
+    "EmbeddingStore",
+    "GraphExpansion",
+    "ServingSession",
+    "TopKResult",
+    "apply_seen_mask",
+    "expand_item_graph",
+    "ingest_items",
+    "interactions_to_csr",
+    "topk_from_scores",
+]

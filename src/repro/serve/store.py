@@ -1,0 +1,224 @@
+"""Embedding snapshots: the serving layer's persistent model artifact.
+
+An :class:`EmbeddingStore` captures everything inference needs from a
+trained model — final user/item representation matrices (including the
+frozen-graph expansions for strict cold-start items), the training
+interactions used for seen-item masking, the raw per-item modality
+features, and the kNN budget of the frozen item-item graphs — as
+contiguous ``float32`` arrays with save/load to a single ``.npz``.
+
+Unlike a training checkpoint (:mod:`repro.train.checkpoint`), which
+stores *parameters* and rebuilds graphs from the dataset, a store holds
+the *outputs* of the forward pass: it can answer queries without the
+model, the dataset generator, or the autograd stack, and it is what the
+online onboarding API (:func:`repro.serve.ingest_items`) extends when
+brand-new items arrive after training.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from .ranker import interactions_to_csr
+
+HEADER_KEY = "__store_header__"
+FORMAT_VERSION = 1
+DEFAULT_ITEM_TOPK = 10
+
+
+class EmbeddingStore:
+    """Frozen user/item representations plus the serving side-information.
+
+    Attributes
+    ----------
+    user_vectors, item_vectors:
+        ``(num_users, dim)`` / ``(num_items, dim)`` ``float32`` matrices.
+    seen:
+        Boolean CSR of training interactions (for seen-item masking).
+    features:
+        modality -> ``(num_items, feature_dim)`` ``float32`` raw features.
+    is_cold:
+        Per-item flag: strict cold-start at snapshot time, or ingested.
+    is_ingested:
+        Per-item flag: onboarded via :func:`~repro.serve.ingest_items`
+        after the snapshot (always a subset of ``is_cold``).
+    item_topk:
+        kNN budget of the frozen item-item graphs; reused when the
+        onboarding API extends them.
+    """
+
+    def __init__(self, user_vectors: np.ndarray, item_vectors: np.ndarray,
+                 seen: sp.spmatrix | None = None,
+                 features: dict | None = None,
+                 is_cold: np.ndarray | None = None,
+                 is_ingested: np.ndarray | None = None,
+                 item_topk: int = DEFAULT_ITEM_TOPK,
+                 metadata: dict | None = None):
+        self.user_vectors = np.ascontiguousarray(user_vectors,
+                                                 dtype=np.float32)
+        self.item_vectors = np.ascontiguousarray(item_vectors,
+                                                 dtype=np.float32)
+        if self.user_vectors.shape[1] != self.item_vectors.shape[1]:
+            raise ValueError("user/item embedding dimensions differ")
+        num_items = self.item_vectors.shape[0]
+        if seen is None:
+            seen = sp.csr_matrix((self.num_users, num_items), dtype=bool)
+        if seen.shape != (self.num_users, num_items):
+            raise ValueError(f"seen matrix shape {seen.shape} does not "
+                             f"match {(self.num_users, num_items)}")
+        self.seen = seen.tocsr()
+        self.features = {
+            modality: np.ascontiguousarray(feats, dtype=np.float32)
+            for modality, feats in (features or {}).items()
+        }
+        for modality, feats in self.features.items():
+            if feats.shape[0] != num_items:
+                raise ValueError(
+                    f"{modality!r} features cover {feats.shape[0]} items, "
+                    f"store has {num_items}")
+        self.is_cold = (np.zeros(num_items, dtype=bool) if is_cold is None
+                        else np.asarray(is_cold, dtype=bool).copy())
+        self.is_ingested = (np.zeros(num_items, dtype=bool)
+                            if is_ingested is None
+                            else np.asarray(is_ingested, dtype=bool).copy())
+        self.item_topk = int(item_topk)
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self.user_vectors.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self.item_vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.item_vectors.shape[1]
+
+    @property
+    def modalities(self) -> tuple:
+        return tuple(self.features.keys())
+
+    def warm_items(self) -> np.ndarray:
+        return np.flatnonzero(~self.is_cold)
+
+    def cold_items(self) -> np.ndarray:
+        return np.flatnonzero(self.is_cold)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, dataset, metadata: dict | None = None
+                   ) -> "EmbeddingStore":
+        """Snapshot a trained recommender on its dataset.
+
+        Works for any :class:`repro.baselines.base.Recommender`; the item
+        matrix already contains the model's strict cold-start expansions
+        (that is the base-class contract).
+        """
+        config = getattr(model, "config", None)
+        item_topk = getattr(config, "item_item_topk", DEFAULT_ITEM_TOPK)
+        header = {
+            "model": getattr(model, "name", type(model).__name__),
+            "dataset": dataset.name,
+        }
+        header.update(metadata or {})
+        return cls(
+            user_vectors=model.user_matrix(),
+            item_vectors=model.item_matrix(),
+            seen=interactions_to_csr(dataset.split.train, model.num_users,
+                                     model.num_items),
+            features=dataset.features,
+            is_cold=dataset.split.is_cold,
+            item_topk=item_topk,
+            metadata=header,
+        )
+
+    # ------------------------------------------------------------------
+    def ingest_items(self, features: dict,
+                     top_k: int | None = None) -> np.ndarray:
+        """Onboard brand-new items online; see
+        :func:`repro.serve.onboarding.ingest_items`."""
+        from .onboarding import ingest_items
+        return ingest_items(self, features, top_k=top_k)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the snapshot to a compressed ``.npz`` archive; returns
+        the path actually written (``np.savez`` appends ``.npz`` to
+        extensionless paths, so normalize up front)."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = Path(f"{path}.npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "version": FORMAT_VERSION,
+            "item_topk": self.item_topk,
+            "modalities": list(self.modalities),
+            "metadata": self.metadata,
+        }
+        arrays = {
+            "user_vectors": self.user_vectors,
+            "item_vectors": self.item_vectors,
+            "is_cold": self.is_cold,
+            "is_ingested": self.is_ingested,
+            "seen.indptr": self.seen.indptr,
+            "seen.indices": self.seen.indices,
+        }
+        for modality, feats in self.features.items():
+            arrays[f"features.{modality}"] = feats
+        arrays[HEADER_KEY] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingStore":
+        """Reconstruct a snapshot written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            header = json.loads(
+                archive[HEADER_KEY].tobytes().decode("utf-8"))
+            if header["version"] != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported store version {header['version']}")
+            user_vectors = archive["user_vectors"]
+            item_vectors = archive["item_vectors"]
+            indices = archive["seen.indices"]
+            seen = sp.csr_matrix(
+                (np.ones(len(indices), dtype=bool), indices,
+                 archive["seen.indptr"]),
+                shape=(user_vectors.shape[0], item_vectors.shape[0]))
+            return cls(
+                user_vectors=user_vectors,
+                item_vectors=item_vectors,
+                seen=seen,
+                features={m: archive[f"features.{m}"]
+                          for m in header["modalities"]},
+                is_cold=archive["is_cold"],
+                is_ingested=archive["is_ingested"],
+                item_topk=header["item_topk"],
+                metadata=header["metadata"],
+            )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Summary row used by ``python -m repro serve``'s ``stats``."""
+        return {
+            "users": self.num_users,
+            "items": self.num_items,
+            "dim": self.dim,
+            "warm items": int((~self.is_cold).sum()),
+            "cold items": int(self.is_cold.sum()),
+            "ingested items": int(self.is_ingested.sum()),
+            "modalities": ",".join(self.modalities) or "-",
+            "item kNN top-k": self.item_topk,
+            "model": self.metadata.get("model", "?"),
+            "dataset": self.metadata.get("dataset", "?"),
+        }

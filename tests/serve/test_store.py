@@ -1,0 +1,98 @@
+"""Tests for the EmbeddingStore snapshot artifact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_model
+from repro.serve import BatchRanker, EmbeddingStore
+
+
+@pytest.fixture()
+def store(tiny_dataset):
+    model = create_model("BPR", tiny_dataset, embedding_dim=8)
+    return EmbeddingStore.from_model(model, tiny_dataset)
+
+
+class TestFromModel:
+    def test_shapes_and_dtypes(self, store, tiny_dataset):
+        assert store.num_users == tiny_dataset.num_users
+        assert store.num_items == tiny_dataset.num_items
+        assert store.dim == 8
+        assert store.user_vectors.dtype == np.float32
+        assert store.item_vectors.dtype == np.float32
+        assert store.user_vectors.flags["C_CONTIGUOUS"]
+        for modality in tiny_dataset.modalities:
+            assert store.features[modality].dtype == np.float32
+
+    def test_snapshot_matches_model(self, store, tiny_dataset):
+        model = create_model("BPR", tiny_dataset, embedding_dim=8)
+        np.testing.assert_allclose(store.item_vectors,
+                                   model.item_matrix().astype(np.float32))
+
+    def test_cold_flags_and_seen(self, store, tiny_dataset):
+        np.testing.assert_array_equal(store.is_cold,
+                                      tiny_dataset.split.is_cold)
+        assert not store.is_ingested.any()
+        assert 0 < store.seen.nnz <= len(tiny_dataset.split.train)
+        user, item = tiny_dataset.split.train[0]
+        assert bool(store.seen[int(user), int(item)])
+
+    def test_metadata(self, store):
+        assert store.metadata["model"] == "BPR"
+        assert store.metadata["dataset"] == "tiny"
+        assert store.item_topk > 0
+
+    def test_firzen_topk_recorded(self, tiny_dataset):
+        model = create_model("Firzen", tiny_dataset, embedding_dim=8)
+        snapshot = EmbeddingStore.from_model(model, tiny_dataset)
+        assert snapshot.item_topk == model.config.item_item_topk
+
+
+class TestRoundTrip:
+    def test_disk_round_trip(self, store, tmp_path):
+        path = tmp_path / "store.npz"
+        store.save(path)
+        loaded = EmbeddingStore.load(path)
+        np.testing.assert_array_equal(loaded.user_vectors,
+                                      store.user_vectors)
+        np.testing.assert_array_equal(loaded.item_vectors,
+                                      store.item_vectors)
+        np.testing.assert_array_equal(loaded.is_cold, store.is_cold)
+        np.testing.assert_array_equal(loaded.is_ingested,
+                                      store.is_ingested)
+        assert (loaded.seen != store.seen).nnz == 0
+        assert loaded.modalities == store.modalities
+        for modality in store.modalities:
+            np.testing.assert_array_equal(loaded.features[modality],
+                                          store.features[modality])
+        assert loaded.item_topk == store.item_topk
+        assert loaded.metadata == store.metadata
+
+    def test_save_normalizes_extensionless_path(self, store, tmp_path):
+        written = store.save(tmp_path / "mystore")
+        assert written == tmp_path / "mystore.npz"
+        assert written.exists()
+        loaded = EmbeddingStore.load(written)
+        assert loaded.num_items == store.num_items
+
+    def test_round_trip_preserves_rankings(self, store, tmp_path):
+        path = tmp_path / "store.npz"
+        store.save(path)
+        loaded = EmbeddingStore.load(path)
+        users = np.arange(6)
+        before = BatchRanker.from_store(store).topk(users, 10)
+        after = BatchRanker.from_store(loaded).topk(users, 10)
+        np.testing.assert_array_equal(before.items, after.items)
+
+
+class TestValidation:
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            EmbeddingStore(rng.normal(size=(3, 4)), rng.normal(size=(5, 6)))
+
+    def test_feature_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            EmbeddingStore(rng.normal(size=(3, 4)), rng.normal(size=(5, 4)),
+                           features={"text": rng.normal(size=(4, 2))})

@@ -1,0 +1,82 @@
+"""Documentation consistency: the front door must track the code.
+
+Mirrors ``tools/check_docs.py`` so drift fails the tier-1 suite, plus a
+few content checks the script doesn't enforce.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import available_models
+from repro.cli import build_parser
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def readme() -> str:
+    return (ROOT / "README.md").read_text()
+
+
+def subcommands() -> list[str]:
+    import argparse
+    parser = build_parser()
+    subparsers = [action for action in parser._actions
+                  if isinstance(action, argparse._SubParsersAction)]
+    return sorted(subparsers[0].choices)
+
+
+class TestReadme:
+    def test_every_cli_subcommand_documented(self, readme):
+        for command in subcommands():
+            assert f"`{command}`" in readme, (
+                f"README.md must document the {command!r} subcommand")
+
+    def test_all_sixteen_models_in_registry_table(self, readme):
+        for name in available_models():
+            assert re.search(rf"\|\s*\*{{0,2}}{re.escape(name)}\*{{0,2}}\s*\|",
+                             readme), f"{name} missing from registry table"
+
+    def test_capability_flags_match_code(self, readme):
+        from repro.baselines import create_model  # noqa: F401 (import check)
+        from repro.baselines.registry import MODEL_FAMILIES
+        for name, (cls, family) in MODEL_FAMILIES.items():
+            row = re.search(rf"\|\s*\*{{0,2}}{re.escape(name)}\*{{0,2}}\s*\|"
+                            r"([^\n]*)", readme)
+            assert row, name
+            cells = [cell.strip() for cell in row.group(1).split("|")]
+            assert cells[0] == family, f"{name}: family drifted"
+            assert (cells[1] == "✓") == cls.uses_kg, f"{name}: uses_kg"
+            assert (cells[2] == "✓") == cls.uses_modalities, \
+                f"{name}: uses_modalities"
+
+    def test_benchmark_harnesses_listed(self, readme):
+        for harness in sorted(
+                p.name for p in (ROOT / "benchmarks").glob("test_*.py")):
+            assert harness in readme, f"{harness} missing from README"
+
+
+class TestDocsTree:
+    def test_architecture_and_reproducing_exist(self):
+        assert (ROOT / "docs" / "ARCHITECTURE.md").exists()
+        assert (ROOT / "docs" / "REPRODUCING.md").exists()
+
+    def test_reproducing_covers_every_results_file(self):
+        text = (ROOT / "docs" / "REPRODUCING.md").read_text()
+        for result in sorted(p.name for p in (ROOT / "results").glob("*.txt")):
+            assert result in text, (
+                f"docs/REPRODUCING.md must mention results/{result}")
+
+    def test_check_docs_script_passes(self):
+        import os
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
