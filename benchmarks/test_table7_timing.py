@@ -6,13 +6,35 @@ objectives); adding the modalities adds little inference latency.
 
 Serving addendum: full-ranking top-k throughput of the seed per-user
 loop vs the batched serving path, on a >=256-user batch.
+
+Training addendum: epochs/second through the frozen-graph engine for
+three representative models, against the epochs/second the pre-engine
+seed implementation measured on the reference machine (the
+``SEED_EPOCHS_PER_SECOND`` snapshot below) — the before/after record of
+the engine refactor. Absolute numbers are machine-dependent; the
+snapshot documents the *relative* change on one machine.
 """
 
 from _shared import get_dataset, get_trained_model, write_result
 from repro.analysis.timing import (measure_feature_sets,
-                                   measure_ranking_throughput)
+                                   measure_ranking_throughput,
+                                   measure_training_throughput)
 from repro.train import TrainConfig
 from repro.utils.tables import format_table
+
+#: epochs/second of the seed implementation (commit b325cd5: per-call
+#: CSR conversion, per-row Python rejection sampling, np.add.at gather
+#: backward), measured on the reference machine with the same protocol
+#: measure_training_throughput uses (beauty/small, 8 epochs, batch 512,
+#: lr 0.05, seed 0, one warm-up step, final-epoch validation included,
+#: best of 3 repeats x 3 interleaved rounds — the machine is noisy, so
+#: the *best* seed round is recorded, making the speedups conservative).
+SEED_EPOCHS_PER_SECOND = {
+    "LightGCN": 67.9,
+    "LightGCN (3 layers)": 61.6,
+    "KGAT": 1.17,
+    "Firzen": 1.59,
+}
 
 
 def test_table7_timing(benchmark):
@@ -30,11 +52,42 @@ def test_table7_timing(benchmark):
     warm, cold = measure_ranking_throughput(
         get_trained_model("beauty", "Firzen", epochs=2)[0], dataset.split,
         num_users=256)
+
+    training_rows = measure_training_throughput(
+        dataset, model_names=("LightGCN", "KGAT", "Firzen"), epochs=8,
+        embedding_dim=32)
+    deep_rows = measure_training_throughput(
+        dataset, model_names=("LightGCN",), epochs=8,
+        embedding_dim=32, num_layers=3)
+    for row in deep_rows:
+        row.model = f"{row.model} (3 layers)"
+    training_rows += deep_rows
+    training_table = []
+    for row in training_rows:
+        cells = row.as_row()
+        seed_eps = SEED_EPOCHS_PER_SECOND.get(row.model)
+        cells["Seed (epochs/s)"] = seed_eps
+        cells["Speedup vs seed"] = (
+            round(row.engine_epochs_per_second / seed_eps, 2)
+            if seed_eps else None)
+        training_table.append(cells)
+
     write_result(
         "table7_timing.txt",
         format_table(table, "Table VII: training/inference time") + "\n\n"
         + format_table(warm.as_rows() + cold.as_rows(),
-                       "Serving addendum: full-ranking throughput"))
+                       "Serving addendum: full-ranking throughput")
+        + "\n\n"
+        + format_table(training_table,
+                       "Training addendum: epochs/second through the "
+                       "frozen-graph engine (seed column: reference-"
+                       "machine snapshot, commit b325cd5)"))
+
+    # Engine and layer-by-layer schedules both train; their throughput
+    # must be real (positive) and the engine path must not collapse.
+    for row in training_rows:
+        assert row.engine_epochs_per_second > 0
+        assert row.layerwise_epochs_per_second > 0
 
     # The batched serving path must beat the seed's one-query-at-a-time
     # serving by a wide margin on a production-sized batch — on the

@@ -2,9 +2,14 @@
 
 Measures wall-clock training time and per-user inference latency for
 Firzen variants that consume increasing feature sets: BA only, +KA, +VA,
-+TA — the exact rows of Table VII — plus the serving-layer addendum:
-full-ranking top-k throughput of the seed per-user Python loop vs the
-batched :class:`repro.serve.ranker.BatchRanker` path.
++TA — the exact rows of Table VII — plus two addenda:
+
+* serving: full-ranking top-k throughput of the seed per-user Python
+  loop vs the batched :class:`repro.serve.ranker.BatchRanker` path;
+* training: epochs/second per model through the frozen-graph engine
+  (:func:`measure_training_throughput`), with the engine's precompiled
+  (folded) schedule compared against the layer-by-layer schedule the
+  seed ran.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import engine as _engine
+from ..baselines import create_model
 from ..core.config import FirzenConfig
 from ..core.firzen import FirzenModel
 from ..data.datasets import RecDataset
@@ -194,6 +201,113 @@ def _measure_scenario(model, ranker: BatchRanker, scenario: str,
         loop_users_per_second=len(users) / max(loop_best, 1e-12),
         batched_users_per_second=len(users) / max(batched_best, 1e-12),
     )
+
+
+# ----------------------------------------------------------------------
+# training addendum: epochs/second through the frozen-graph engine
+# ----------------------------------------------------------------------
+@dataclass
+class TrainingThroughputRow:
+    """Training throughput for one model, engine schedule vs fallback.
+
+    ``engine_epochs_per_second`` uses the engine as configured (operator
+    folding allowed wherever the density guard accepts it);
+    ``layerwise_epochs_per_second`` forces the layer-by-layer schedule —
+    the propagation schedule the seed implementation ran. The two paths
+    are numerically equivalent; only wall-clock may differ.
+    """
+
+    model: str
+    epochs: int
+    engine_epochs_per_second: float
+    layerwise_epochs_per_second: float
+    #: whether the density/cost guard admitted any folded operator for
+    #: this model's graphs — when False the two schedules are the same
+    #: code path and their ratio is pure measurement noise.
+    folded: bool = False
+
+    @property
+    def fold_speedup(self) -> float:
+        return self.engine_epochs_per_second / max(
+            self.layerwise_epochs_per_second, 1e-12)
+
+    def as_row(self) -> dict:
+        return {
+            "Model": self.model,
+            "Epochs": self.epochs,
+            "Engine (epochs/s)": round(self.engine_epochs_per_second, 2),
+            "Layer-by-layer (epochs/s)": round(
+                self.layerwise_epochs_per_second, 2),
+            "Fold speedup": (round(self.fold_speedup, 2) if self.folded
+                             else "guarded off"),
+        }
+
+
+def _epochs_per_second(name: str, dataset: RecDataset, epochs: int,
+                       train_config: TrainConfig, seed: int, repeats: int,
+                       **model_kwargs) -> float:
+    """Best-of-``repeats`` epochs/second for ``epochs`` training epochs
+    (intermediate validation passes disabled; the trainer's final-epoch
+    validation is included, as it is for every recorded snapshot).
+
+    Each repeat trains a fresh model; one warm-up loss/backward runs
+    outside the timer so one-time costs (propagation-plan compilation,
+    allocator warm-up) don't skew short measurements.
+    """
+    config = TrainConfig(**{**train_config.__dict__,
+                            "epochs": epochs,
+                            "eval_every": epochs + 1})
+    best = 0.0
+    for _ in range(max(repeats, 1)):
+        model = create_model(name, dataset, seed=seed, **model_kwargs)
+        warmup = dataset.split.train[:min(64, len(dataset.split.train))]
+        model.loss(warmup[:, 0], warmup[:, 1], warmup[:, 1]).backward()
+        model.zero_grad()
+        result = train_model(model, dataset, config)
+        best = max(best,
+                   result.epochs_run / max(result.train_seconds, 1e-12))
+    return best
+
+
+def measure_training_throughput(
+        dataset: RecDataset,
+        model_names: tuple = ("LightGCN", "KGAT", "Firzen"),
+        epochs: int = 8, seed: int = 0, repeats: int = 3,
+        train_config: TrainConfig | None = None,
+        **model_kwargs) -> list[TrainingThroughputRow]:
+    """Epochs/second per model: engine schedule vs forced layer-by-layer.
+
+    Each measurement trains a fresh model from the same seed so both
+    schedules do identical numerical work; the engine cache is cleared
+    between runs so neither inherits the other's precompiled plans.
+    """
+    train_config = train_config or TrainConfig(batch_size=512,
+                                               learning_rate=0.05)
+    rows = []
+    eng = _engine.get_engine()
+    fold_before = eng.fold
+    try:
+        for name in model_names:
+            _engine.configure(fold=fold_before)
+            folded_before = eng.stats.plans_folded
+            engine_eps = _epochs_per_second(
+                name, dataset, epochs, train_config, seed, repeats,
+                **model_kwargs)
+            folded = eng.stats.plans_folded > folded_before
+            _engine.configure(fold=False)
+            layerwise_eps = _epochs_per_second(
+                name, dataset, epochs, train_config, seed, repeats,
+                **model_kwargs)
+            rows.append(TrainingThroughputRow(
+                model=name,
+                epochs=epochs,
+                engine_epochs_per_second=engine_eps,
+                layerwise_epochs_per_second=layerwise_eps,
+                folded=folded,
+            ))
+    finally:
+        _engine.configure(fold=fold_before)
+    return rows
 
 
 def measure_ranking_throughput(model, split: ColdStartSplit,

@@ -76,7 +76,7 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     if not training or rate <= 0.0:
         return x
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
     return x * Tensor(mask)
 
 

@@ -4,6 +4,14 @@ All graphs in Firzen are *frozen* (the paper's central design point): the
 adjacency structure never receives gradients. That lets us keep adjacency
 matrices as ``scipy.sparse`` CSR and only differentiate through the dense
 embedding operand of each propagation step.
+
+Normalizers compute and emit float64 — the dtype the published
+benchmark tables were trained under (changing operator rounding re-rolls
+every trained outcome). Dtype unification happens one layer up: the
+engine (:mod:`repro.engine`) pins each propagation operator to the
+operand's dtype exactly once per plan, so hot-path matmuls never convert
+— float32 consumers (the serving store, float32 training) get a float32
+operator, float64 training keeps these exact values.
 """
 
 from __future__ import annotations
@@ -19,8 +27,18 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
 
     Gradient flows only into ``x`` (``matrix.T @ upstream``); the matrix is
     a constant, matching the paper's frozen-graph training.
+
+    ``matrix`` should already be CSR (every graph builder and the engine
+    pin their operators to CSR once): a CSR input is used as-is, with no
+    per-call format conversion. Other sparse formats are converted here
+    as a convenience — callers on hot paths should convert once instead.
     """
-    matrix = matrix.tocsr()
+    if not sp.issparse(matrix):
+        raise TypeError(
+            f"sparse_matmul expects a scipy.sparse matrix, got "
+            f"{type(matrix).__name__}")
+    if matrix.format != "csr":
+        matrix = matrix.tocsr()
     data = matrix @ x.data
 
     out = Tensor(data, requires_grad=x.requires_grad)

@@ -31,12 +31,29 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
+#: Floating dtypes the engine preserves. Everything else (ints, bools,
+#: python lists) is promoted to float64. Parameters default to float64
+#: (``init.PARAM_DTYPE``; the published tables are float64-reproducible)
+#: but float32 pipelines flow through untouched — no silent upcasts.
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
 def _as_array(value) -> np.ndarray:
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
-        return value
-    return np.asarray(value, dtype=np.float64)
+        if value.dtype in _FLOAT_DTYPES:
+            return value
+        return value.astype(np.float64)
+    arr = np.asarray(value)
+    if arr.dtype in _FLOAT_DTYPES:
+        return arr
+    return arr.astype(np.float64)
+
+
+def _is_pyscalar(value) -> bool:
+    """Python (or numpy-float64) scalars get a dedicated fast path in the
+    binary ops: numpy's weak scalar promotion keeps the tensor's dtype, so
+    float32 pipelines stay float32 and float64 ones keep full precision."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 class Tensor:
@@ -45,7 +62,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like value. Stored as ``float64`` for gradient-check accuracy.
+        Array-like value. float32 and float64 arrays keep their dtype
+        (the whole engine is dtype-preserving); everything else is
+        stored as float64.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad`.
     """
@@ -120,7 +139,7 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -184,6 +203,11 @@ class Tensor:
     # elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
+        if _is_pyscalar(other):
+            def backward(g):
+                return (g,)
+
+            return self._make(self.data + other, (self,), backward)
         other = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data + other.data
 
@@ -195,6 +219,11 @@ class Tensor:
     __radd__ = __add__
 
     def __mul__(self, other) -> "Tensor":
+        if _is_pyscalar(other):
+            def backward(g):
+                return (g * other,)
+
+            return self._make(self.data * other, (self,), backward)
         other = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data * other.data
 
@@ -209,6 +238,11 @@ class Tensor:
     __rmul__ = __mul__
 
     def __sub__(self, other) -> "Tensor":
+        if _is_pyscalar(other):
+            def backward(g):
+                return (g,)
+
+            return self._make(self.data - other, (self,), backward)
         other = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data - other.data
 
@@ -218,6 +252,11 @@ class Tensor:
         return self._make(data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
+        if _is_pyscalar(other):
+            def backward(g):
+                return (-g,)
+
+            return self._make(other - self.data, (self,), backward)
         return Tensor(other) - self
 
     def __neg__(self) -> "Tensor":
@@ -227,6 +266,11 @@ class Tensor:
         return self._make(-self.data, (self,), backward)
 
     def __truediv__(self, other) -> "Tensor":
+        if _is_pyscalar(other):
+            def backward(g):
+                return (g / other,)
+
+            return self._make(self.data / other, (self,), backward)
         other = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data / other.data
 
@@ -239,6 +283,13 @@ class Tensor:
         return self._make(data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
+        if _is_pyscalar(other):
+            data = other / self.data
+
+            def backward(g):
+                return (-g * data / self.data,)
+
+            return self._make(data, (self,), backward)
         return Tensor(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -330,12 +381,12 @@ class Tensor:
         def backward(g):
             g = np.asarray(g)
             if axis is None:
-                mask = (self.data == data).astype(np.float64)
+                mask = (self.data == data).astype(self.data.dtype)
                 mask /= mask.sum()
                 return (mask * g,)
             expanded = data if keepdims else np.expand_dims(data, axis)
             gexp = g if keepdims else np.expand_dims(g, axis)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             return (mask * gexp,)
 
@@ -456,7 +507,14 @@ class Tensor:
 
         def backward(g):
             grad = np.zeros_like(self.data)
-            np.add.at(grad, index, g)
+            if isinstance(index, (slice, int)) or (
+                    isinstance(index, tuple)
+                    and all(isinstance(i, (slice, int)) for i in index)):
+                # Basic indexing never aliases, so a direct assignment
+                # replaces the (slow) unbuffered np.add.at.
+                grad[index] = g
+            else:
+                np.add.at(grad, index, g)
             return (grad,)
 
         return self._make(data, (self,), backward)
@@ -467,6 +525,19 @@ class Tensor:
         data = self.data[indices]
 
         def backward(g):
+            if self.data.ndim == 2 and indices.ndim == 1 and (
+                    not indices.size or indices.min() >= 0):
+                # Scatter-add via bincount: substantially faster than
+                # np.add.at, which dominates backward time otherwise.
+                # (Negative indices fall through to np.add.at, which
+                # resolves them like the gather did.)
+                rows, cols = self.data.shape
+                flat_index = (indices[:, None] * cols
+                              + np.arange(cols)[None, :]).ravel()
+                grad = np.bincount(flat_index, weights=g.ravel(),
+                                   minlength=rows * cols)
+                return (grad.reshape(rows, cols).astype(
+                    self.data.dtype, copy=False),)
             grad = np.zeros_like(self.data)
             np.add.at(grad, indices, g)
             return (grad,)

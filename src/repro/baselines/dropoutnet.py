@@ -66,12 +66,13 @@ class DropoutNetModel(Recommender):
         if training:
             # Behavior dropout: simulate cold items during training.
             drop = (self._drop_rng.random(self.num_items)
-                    >= self.dropout_rate).astype(np.float64)
+                    >= self.dropout_rate).astype(item_out.data.dtype)
         else:
             # Real missingness: items without any observed link have no
             # usable behavior (strict cold items, unless links were added
             # by the normal cold-start protocol).
-            drop = (self.graph.item_degree() > 0).astype(np.float64)
+            drop = (self.graph.item_degree() > 0).astype(
+                item_out.data.dtype)
         items = self._item_repr(item_out, drop)
         users = self.user_transform(user_out).tanh()
         return users, items

@@ -14,11 +14,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..autograd import Tensor, bpr_loss, embedding_l2, rowwise_dot
-from ..autograd.sparse import (build_bipartite_adjacency, sparse_matmul,
-                               symmetric_normalize)
+from ..autograd.sparse import build_bipartite_adjacency
 from ..autograd.nn import Embedding, Linear
 from ..components.lightgcn import lightgcn_propagate
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from ..graphs.interaction import InteractionGraph
 from ..graphs.item_item import build_item_item_graphs
 from .base import Recommender
@@ -66,20 +66,26 @@ class FreedomModel(Recommender):
         keep_prob = (1.0 - self.edge_drop) * weights / weights.mean()
         keep = self._drop_rng.random(len(inter)) < np.clip(keep_prob, 0, 1)
         kept = inter[keep]
-        return symmetric_normalize(build_bipartite_adjacency(
-            self.num_users, self.num_items, kept[:, 0], kept[:, 1]))
+        denoised = build_bipartite_adjacency(
+            self.num_users, self.num_items, kept[:, 0], kept[:, 1])
+        # Throwaway graph (re-sampled on every loss() call, i.e. per
+        # batch): normalize without caching.
+        return get_engine().normalized(denoised, "sym", cache=False)
 
     def _forward(self, mode: str, denoise: bool):
         adjacency = (self._denoised_adjacency() if denoise
                      else self.graph.norm_adjacency)
+        # fold=False for the throwaway denoised graph (it lives for one
+        # batch); the frozen inference graph defers to the engine.
         user_out, item_out = lightgcn_propagate(
             adjacency, self.user_emb.weight, self.item_emb.weight,
-            self.num_layers)
+            self.num_layers, fold=False if denoise else None)
         homogeneous = None
         for modality in self.dataset.modalities:
             graph_adj = self.item_graphs[modality].adjacency(mode)
             projected = self.projectors[modality](self._features[modality])
-            part = sparse_matmul(graph_adj, item_out + projected)
+            part = get_engine().propagate(graph_adj, item_out + projected,
+                                          pooling="last")
             homogeneous = part if homogeneous is None else \
                 homogeneous + part
         homogeneous = homogeneous * (1.0 / len(self.dataset.modalities))

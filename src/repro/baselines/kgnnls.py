@@ -13,8 +13,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..autograd import Tensor
-from ..autograd.sparse import sparse_matmul, symmetric_normalize
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from .kgcn import KGCNModel
 
 
@@ -42,11 +42,13 @@ class KGNNLSModel(KGCNModel):
             shape=(self.num_items, self.num_items))
         adjacency = adjacency + adjacency.T
         adjacency.data[:] = 1.0
-        self._smooth = symmetric_normalize(adjacency)
+        self._smooth = get_engine().normalized(adjacency, "sym",
+                                               cache=False)
 
     def _label_smoothness(self) -> Tensor:
         items = self.entity_emb.weight[:self.num_items]
-        smoothed = sparse_matmul(self._smooth, items)
+        smoothed = get_engine().propagate(self._smooth, items,
+                                          pooling="last")
         diff = items - smoothed
         return (diff * diff).mean()
 

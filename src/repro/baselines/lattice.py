@@ -13,9 +13,9 @@ import numpy as np
 
 from ..autograd import Tensor, bpr_loss, embedding_l2, rowwise_dot
 from ..autograd.nn import Embedding, Linear
-from ..autograd.sparse import sparse_matmul
 from ..components.lightgcn import lightgcn_propagate
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from ..graphs.interaction import InteractionGraph
 from ..graphs.item_item import build_item_item_graphs
 from .base import Recommender
@@ -74,7 +74,8 @@ class LatticeModel(Recommender):
         homogeneous = None
         for modality in self.dataset.modalities:
             adjacency = self.item_graphs[modality].adjacency(mode)
-            part = sparse_matmul(adjacency, item_out)
+            part = get_engine().propagate(adjacency, item_out,
+                                          pooling="last")
             homogeneous = part if homogeneous is None else \
                 homogeneous + part
         homogeneous = homogeneous * (1.0 / len(self.dataset.modalities))

@@ -16,9 +16,9 @@ import numpy as np
 from ..autograd import (Tensor, bpr_loss, embedding_l2, infonce, rowwise_dot)
 from ..autograd.nn import (BatchNorm1d, Dropout, Embedding, LeakyReLU,
                            Linear, Sequential, Sigmoid)
-from ..autograd.sparse import row_normalize, sparse_matmul
 from ..components.lightgcn import lightgcn_propagate
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from ..graphs.interaction import InteractionGraph
 from .base import Recommender
 
@@ -41,8 +41,7 @@ class MMSSLModel(Recommender):
         self.modal_weight = modal_weight
         self.graph = InteractionGraph(
             self.num_users, self.num_items, dataset.split.train)
-        self._user_norm = row_normalize(self.graph.user_item_matrix)
-        self._item_norm = row_normalize(self.graph.user_item_matrix.T.tocsr())
+        self._rebind_aggregators()
         self.user_emb = Embedding(self.num_users, embedding_dim, rng)
         self.item_emb = Embedding(self.num_items, embedding_dim, rng)
         self.projectors = {
@@ -61,11 +60,20 @@ class MMSSLModel(Recommender):
         self._features = {m: Tensor(dataset.features[m])
                           for m in dataset.modalities}
 
+    def _rebind_aggregators(self) -> None:
+        engine = get_engine()
+        self._user_norm = engine.normalized(self.graph.user_item_matrix,
+                                            "row")
+        # The transpose is a fresh one-shot matrix: nothing to cache on.
+        self._item_norm = engine.normalized(
+            self.graph.user_item_matrix.T.tocsr(), "row", cache=False)
+
     def _modal_user_item(self, modality: str):
         """Aggregate projected features over interactions (eqs. 7-8 style)."""
+        engine = get_engine()
         projected = self.projectors[modality](self._features[modality])
-        x_user = sparse_matmul(self._user_norm, projected)
-        x_item = sparse_matmul(self._item_norm, x_user)
+        x_user = engine.propagate(self._user_norm, projected, pooling="last")
+        x_item = engine.propagate(self._item_norm, x_user, pooling="last")
         return x_user, x_item
 
     def _forward(self):
@@ -118,9 +126,7 @@ class MMSSLModel(Recommender):
 
     def adapt_to_interactions(self, extra):
         self.graph = self.graph.with_extra_interactions(extra)
-        self._user_norm = row_normalize(self.graph.user_item_matrix)
-        self._item_norm = row_normalize(
-            self.graph.user_item_matrix.T.tocsr())
+        self._rebind_aggregators()
         self.invalidate()
 
     def compute_representations(self):

@@ -16,9 +16,9 @@ import numpy as np
 
 from ..autograd import Tensor, bpr_loss, embedding_l2, rowwise_dot
 from ..autograd.nn import Embedding, Linear
-from ..autograd.sparse import row_normalize, sparse_matmul
 from ..components.lightgcn import lightgcn_propagate
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from ..graphs.interaction import InteractionGraph
 from .base import Recommender
 
@@ -44,19 +44,25 @@ class MWUFModel(Recommender):
         # Meta networks: scale from content, shift from user aggregate.
         self.meta_scale = Linear(content.shape[1], embedding_dim, rng)
         self.meta_shift = Linear(embedding_dim, embedding_dim, rng)
-        self._item_user_norm = row_normalize(
-            self.graph.user_item_matrix.T.tocsr())
+        self._rebind_aggregator()
+
+    def _rebind_aggregator(self) -> None:
+        # The transpose is a fresh one-shot matrix: nothing to cache on.
+        self._item_user_norm = get_engine().normalized(
+            self.graph.user_item_matrix.T.tocsr(), "row", cache=False)
 
     def _warmed_items(self, item_out: Tensor, user_out: Tensor) -> Tensor:
         """Apply meta scaling and shifting to every item embedding."""
         scale = self.meta_scale(self._content).sigmoid() * 2.0
-        neighbor_users = sparse_matmul(self._item_user_norm, user_out)
+        neighbor_users = get_engine().propagate(self._item_user_norm,
+                                                user_out, pooling="last")
         # Strict cold items have no interacting users: fall back to the
         # global mean user embedding.
         degrees = np.asarray(
             self.graph.user_item_matrix.sum(axis=0)).ravel()
         fallback = user_out.mean(axis=0, keepdims=True)
-        mask = Tensor((degrees > 0).astype(np.float64).reshape(-1, 1))
+        mask = Tensor((degrees > 0).astype(
+            user_out.data.dtype).reshape(-1, 1))
         neighbor_users = neighbor_users * mask + fallback * (1.0 - mask)
         shift = self.meta_shift(neighbor_users)
         return item_out * scale + shift
@@ -79,8 +85,7 @@ class MWUFModel(Recommender):
 
     def adapt_to_interactions(self, extra):
         self.graph = self.graph.with_extra_interactions(extra)
-        self._item_user_norm = row_normalize(
-            self.graph.user_item_matrix.T.tocsr())
+        self._rebind_aggregator()
         self.invalidate()
 
     def compute_representations(self):

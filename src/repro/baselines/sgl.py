@@ -11,9 +11,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..autograd import bpr_loss, embedding_l2, infonce, rowwise_dot
-from ..autograd.sparse import build_bipartite_adjacency, symmetric_normalize
+from ..autograd.sparse import build_bipartite_adjacency
 from ..components.lightgcn import lightgcn_propagate
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from .lightgcn import LightGCNModel
 
 
@@ -39,18 +40,21 @@ class SGLModel(LightGCNModel):
         kept = inter[keep]
         adjacency = build_bipartite_adjacency(
             self.num_users, self.num_items, kept[:, 0], kept[:, 1])
-        return symmetric_normalize(adjacency)
+        # Per-batch throwaway augmentation: normalize without caching.
+        return get_engine().normalized(adjacency, "sym", cache=False)
 
     def loss(self, users, pos_items, neg_items):
         base = super().loss(users, pos_items, neg_items)
         if self.ssl_weight <= 0:
             return base
+        # The augmented adjacencies live for one batch: folding them
+        # could never repay its build cost, so skip the attempt.
         view1_u, view1_i = lightgcn_propagate(
             self._augmented_adjacency(), self.user_emb.weight,
-            self.item_emb.weight, self.num_layers)
+            self.item_emb.weight, self.num_layers, fold=False)
         view2_u, view2_i = lightgcn_propagate(
             self._augmented_adjacency(), self.user_emb.weight,
-            self.item_emb.weight, self.num_layers)
+            self.item_emb.weight, self.num_layers, fold=False)
         unique_users = np.unique(users)
         unique_items = np.unique(np.concatenate([pos_items, neg_items]))
         ssl = infonce(view1_u.take_rows(unique_users),

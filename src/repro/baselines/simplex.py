@@ -12,8 +12,8 @@ import numpy as np
 
 from ..autograd import Tensor, cosine_similarity, embedding_l2
 from ..autograd.nn import Embedding
-from ..autograd.sparse import row_normalize, sparse_matmul
 from ..data.datasets import RecDataset
+from ..engine import get_engine
 from .base import Recommender
 
 
@@ -40,13 +40,15 @@ class SimpleXModel(Recommender):
         matrix = sp.csr_matrix(
             (np.ones(len(train)), (train[:, 0], train[:, 1])),
             shape=(self.num_users, self.num_items))
-        self._history = row_normalize(matrix)
+        self._history = get_engine().normalized(matrix, "row", cache=False)
         self._neg_rng = np.random.default_rng(
             int(self.rng.integers(0, 2 ** 31)))
         self._warm_items = dataset.split.warm_items
 
     def _user_repr(self) -> Tensor:
-        aggregated = sparse_matmul(self._history, self.item_emb.weight)
+        aggregated = get_engine().propagate(self._history,
+                                            self.item_emb.weight,
+                                            pooling="last")
         return self.user_emb.weight * self.gamma + aggregated * (1 - self.gamma)
 
     def loss(self, users, pos_items, neg_items):

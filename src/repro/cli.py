@@ -20,6 +20,11 @@ Commands
     Answer batched top-k queries from a store/checkpoint/fresh model —
     interactive REPL or file-driven — including online ``ingest`` of
     brand-new cold items.
+``bench``
+    Training-throughput benchmark (epochs/second) through the
+    frozen-graph engine, comparing the precompiled (folded) schedule
+    against the layer-by-layer fallback; optionally fails below a
+    throughput floor (the CI smoke gate).
 """
 
 from __future__ import annotations
@@ -212,6 +217,26 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .analysis.timing import measure_training_throughput
+    dataset = _load_dataset(args.dataset, args.size)
+    rows = measure_training_throughput(
+        dataset, model_names=tuple(args.models), epochs=args.epochs,
+        seed=args.seed, train_config=_train_config(args),
+        embedding_dim=args.embedding_dim)
+    print(format_table([row.as_row() for row in rows],
+                       title=f"Training throughput on {dataset.name}"))
+    slowest = min(rows, key=lambda row: row.engine_epochs_per_second)
+    if args.min_throughput is not None \
+            and slowest.engine_epochs_per_second < args.min_throughput:
+        print(f"FAIL: {slowest.model} trains at "
+              f"{slowest.engine_epochs_per_second:.2f} epochs/s, below "
+              f"the --min-throughput floor of {args.min_throughput}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Firzen reproduction CLI")
@@ -265,6 +290,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--block-size", type=int, default=1024)
     _add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench", help="training-throughput benchmark (epochs/second)")
+    p_bench.add_argument("--models", nargs="+",
+                         default=["LightGCN", "KGAT", "Firzen"])
+    p_bench.add_argument("--min-throughput", type=float, default=None,
+                         help="exit nonzero when any model trains slower "
+                              "than this many epochs/second")
+    _add_common(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -18,7 +18,7 @@ from ..autograd import Tensor
 from ..autograd.nn import Module
 from ..autograd.init import xavier_uniform
 from ..graphs.ckg import CollaborativeKG
-from .segments import segment_softmax_weighted_sum
+from .segments import segment_operators, segment_softmax_weighted_sum
 
 
 class KnowledgeGraphAttention(Module):
@@ -54,12 +54,20 @@ class KnowledgeGraphAttention(Module):
             mask = triplets[:, 1] == relation
             self._by_relation.append((
                 triplets[mask, 0].copy(), triplets[mask, 2].copy()))
+        # The segmentation over head entities is as frozen as the CKG
+        # itself: precompute the concatenated segment ids and the
+        # indicator-operator pair once instead of per forward call.
+        heads_concat = [heads for heads, _ in self._by_relation
+                        if len(heads)]
+        self._segments = (np.concatenate(heads_concat) if heads_concat
+                          else np.empty(0, dtype=np.int64))
+        self._segment_ops = segment_operators(self._segments,
+                                              ckg.num_nodes)
 
     def forward(self, node_emb: Tensor) -> Tensor:
         """Aggregate one attention hop; input/output are (num_nodes, dim)."""
         logits_parts: list[Tensor] = []
         tails_parts: list[Tensor] = []
-        heads_parts: list[np.ndarray] = []
         for relation, (heads, tails) in enumerate(self._by_relation):
             if len(heads) == 0:
                 continue
@@ -71,15 +79,14 @@ class KnowledgeGraphAttention(Module):
             proj_h = (x_h.matmul(w_r) + e_r).tanh()
             logits_parts.append((proj_t * proj_h).sum(axis=1))
             tails_parts.append(x_t)
-            heads_parts.append(heads)
 
         from ..autograd import concat
         logits = concat(logits_parts, axis=0)
         tails = concat(tails_parts, axis=0)
-        segments = np.concatenate(heads_parts)
 
         neighborhood = segment_softmax_weighted_sum(
-            logits, tails, segments, self.ckg.num_nodes)
+            logits, tails, self._segments, self.ckg.num_nodes,
+            operators=self._segment_ops)
 
         # Bi-interaction aggregator (eq. 13).
         summed = (node_emb + neighborhood).matmul(self.w_sum).leaky_relu()

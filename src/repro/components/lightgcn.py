@@ -1,15 +1,23 @@
-"""LightGCN propagation (paper eq. 5-6), used by most graph models here."""
+"""LightGCN propagation (paper eq. 5-6), used by most graph models here.
+
+Propagation goes through the frozen-graph engine: the engine caches one
+precompiled :class:`~repro.engine.PropagationPlan` per (adjacency,
+depth), so the mean-pooled multi-hop walk collapses into a single
+precomputed sparse operator whenever the density guard allows.
+"""
 
 from __future__ import annotations
 
 import scipy.sparse as sp
 
-from ..autograd import Tensor, concat, mean_stack, sparse_matmul
+from ..autograd import Tensor, concat, mean_stack
+from ..engine import get_engine
 
 
 def lightgcn_propagate(norm_adjacency: sp.spmatrix, user_emb: Tensor,
                        item_emb: Tensor, num_layers: int,
-                       return_layers: bool = False):
+                       return_layers: bool = False,
+                       fold: bool | None = None):
     """Run LightGCN message passing over the joint (user+item) graph.
 
     Layer-wise embeddings are mean-pooled (the paper's aggregation). The
@@ -17,16 +25,20 @@ def lightgcn_propagate(norm_adjacency: sp.spmatrix, user_emb: Tensor,
     their layer-0 vectors scaled by ``1/(L+1)``.
 
     Returns ``(user_out, item_out)`` Tensors, or the full per-layer list
-    when ``return_layers`` is set.
+    when ``return_layers`` is set (which forces the layer-by-layer
+    schedule — the folded operator has no intermediates to return).
+    Callers propagating over a throwaway adjacency (per-batch graph
+    augmentations) should pass ``fold=False``.
     """
     num_users = user_emb.shape[0]
     ego = concat([user_emb, item_emb], axis=0)
-    layers = [ego]
-    current = ego
-    for _ in range(num_layers):
-        current = sparse_matmul(norm_adjacency, current)
-        layers.append(current)
-    pooled = mean_stack(layers)
+    plan = get_engine().plan(norm_adjacency, num_layers, pooling="mean",
+                             fold=fold)
+    if return_layers:
+        layers = plan.apply_layers(ego)
+        pooled = mean_stack(layers)
+    else:
+        pooled = plan.apply(ego)
     user_out = pooled[:num_users]
     item_out = pooled[num_users:]
     if return_layers:

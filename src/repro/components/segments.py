@@ -3,7 +3,10 @@
 The knowledge-aware attention (paper eq. 9-11) needs a softmax over each
 head entity's ego network — a segment softmax. We express segment sums as
 multiplication by a frozen indicator matrix so the existing autograd
-primitives provide the gradients.
+primitives provide the gradients. The indicator pair is a frozen operator
+like any adjacency: callers that run the same segmentation every forward
+(KGAT layers) build it once via :func:`segment_operators` and pass it in,
+instead of re-constructing two CSR matrices per call.
 """
 
 from __future__ import annotations
@@ -12,38 +15,61 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..autograd import Tensor, sparse_matmul
+from ..autograd import init as _init
 
 
 def segment_indicator(segment_ids: np.ndarray,
                       num_segments: int) -> sp.csr_matrix:
     """Indicator matrix S of shape (num_segments, n): S[s, j] = 1 iff
-    element j belongs to segment s. ``S @ v`` is then a segment sum."""
+    element j belongs to segment s. ``S @ v`` is then a segment sum.
+
+    The indicator follows the parameter dtype (read at call time, so
+    the float32 opt-in reaches it) and the segment matmuls never
+    convert — its 0/1 entries are exact in either float width.
+    """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     n = len(segment_ids)
-    data = np.ones(n, dtype=np.float64)
+    data = np.ones(n, dtype=_init.PARAM_DTYPE)
     return sp.csr_matrix((data, (segment_ids, np.arange(n))),
                          shape=(num_segments, n))
 
 
+def segment_operators(segment_ids: np.ndarray, num_segments: int
+                      ) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """The frozen ``(indicator, indicator.T)`` pair, both CSR-pinned.
+
+    Precompute once per frozen segmentation; both directions appear on
+    the segment-softmax hot path.
+    """
+    indicator = segment_indicator(segment_ids, num_segments)
+    return indicator, indicator.T.tocsr()
+
+
 def segment_softmax_weighted_sum(logits: Tensor, values: Tensor,
                                  segment_ids: np.ndarray,
-                                 num_segments: int) -> Tensor:
+                                 num_segments: int,
+                                 operators: tuple | None = None) -> Tensor:
     """Per-segment ``sum_j softmax(logits)_j * values_j``.
 
     ``logits`` has shape ``(n,)``, ``values`` shape ``(n, d)``; the result
     has shape ``(num_segments, d)``. Fully differentiable in both inputs.
+    ``operators`` takes a precomputed :func:`segment_operators` pair for
+    frozen segmentations.
     """
-    indicator = segment_indicator(segment_ids, num_segments)
+    if operators is None:
+        operators = segment_operators(segment_ids, num_segments)
+    indicator, indicator_t = operators
 
     # Stabilize with the per-segment max (a constant w.r.t. gradients).
     seg_max = np.full(num_segments, -np.inf)
     np.maximum.at(seg_max, segment_ids, logits.data)
     seg_max[~np.isfinite(seg_max)] = 0.0
-    shifted = logits - Tensor(seg_max[segment_ids])
+    shifted = logits - Tensor(seg_max[segment_ids].astype(
+        logits.data.dtype, copy=False))
 
     exp = shifted.clip(-60.0, 60.0).exp()
     denom = sparse_matmul(indicator, exp.reshape(-1, 1))          # (S, 1)
-    denom_per_elem = sparse_matmul(indicator.T.tocsr(), denom)    # (n, 1)
+    denom_per_elem = sparse_matmul(indicator_t, denom)            # (n, 1)
     alpha = exp.reshape(-1, 1) / (denom_per_elem + 1e-12)
     weighted = values * alpha
     return sparse_matmul(indicator, weighted)
@@ -56,4 +82,5 @@ def segment_mean(values: Tensor, segment_ids: np.ndarray,
     sums = sparse_matmul(indicator, values)
     counts = np.asarray(indicator.sum(axis=1)).ravel()
     counts[counts == 0] = 1.0
-    return sums * Tensor(1.0 / counts).reshape(-1, 1)
+    inv_counts = (1.0 / counts).astype(values.data.dtype, copy=False)
+    return sums * Tensor(inv_counts).reshape(-1, 1)

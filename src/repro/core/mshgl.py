@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor, mean_stack, sparse_matmul
+from ..autograd import Tensor, mean_stack
 from ..autograd.nn import Module, MultiHeadSelfAttention
+from ..engine import get_engine
 from ..graphs.item_item import ItemItemGraph
 from ..graphs.user_user import UserUserGraph
 from .config import FirzenConfig
@@ -39,14 +40,9 @@ class ItemItemPropagation(Module):
     def forward(self, item_emb: Tensor, mode: str,
                 masked: bool = True) -> Tensor:
         adjacency = self.graph.adjacency(mode, masked=masked)
-        current = item_emb
-        layers = [current]
-        for _ in range(self.num_layers):
-            current = sparse_matmul(adjacency, current)
-            layers.append(current)
-        if self.layer_mean:
-            return mean_stack(layers)
-        return current
+        pooling = "mean" if self.layer_mean else "last"
+        return get_engine().propagate(adjacency, item_emb,
+                                      self.num_layers, pooling)
 
 
 class UserUserPropagation(Module):
@@ -58,10 +54,8 @@ class UserUserPropagation(Module):
         self.num_layers = num_layers
 
     def forward(self, user_emb: Tensor) -> Tensor:
-        current = user_emb
-        for _ in range(self.num_layers):
-            current = sparse_matmul(self.graph.attention, current)
-        return current
+        return get_engine().propagate(self.graph.attention, user_emb,
+                                      self.num_layers, pooling="last")
 
 
 class MSHGL(Module):

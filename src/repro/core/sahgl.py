@@ -18,8 +18,8 @@ import numpy as np
 
 from ..autograd import Tensor, dropout as ag_dropout
 from ..autograd.nn import Embedding, Linear, Module
-from ..autograd.sparse import row_normalize, sparse_matmul
 from ..components.kgat import KnowledgeGraphAttention
+from ..engine import get_engine
 from ..components.lightgcn import lightgcn_propagate
 from ..data.datasets import RecDataset
 from ..graphs.ckg import CollaborativeKG
@@ -72,17 +72,21 @@ class ModalityEncoder(Module):
     def rebind(self, graph: InteractionGraph) -> None:
         """Rebuild the frozen aggregation matrices against a (possibly
         extended) interaction graph."""
+        engine = get_engine()
         user_item = graph.user_item_matrix
-        self._to_users = row_normalize(user_item)
-        self._to_items = row_normalize(user_item.T.tocsr())
+        self._to_users = engine.normalized(user_item, "row")
+        # The transpose is a fresh one-shot matrix: nothing to cache on.
+        self._to_items = engine.normalized(user_item.T.tocsr(), "row",
+                                           cache=False)
 
     def forward(self):
         """Returns ``(x_u, x_i, projected_items)`` for this modality."""
+        engine = get_engine()
         projected = self.projector(self.features)
         projected = ag_dropout(projected, self.dropout_rate, self._drop_rng,
                                training=self.training)
-        x_user = sparse_matmul(self._to_users, projected)
-        x_item = sparse_matmul(self._to_items, x_user)
+        x_user = engine.propagate(self._to_users, projected, pooling="last")
+        x_item = engine.propagate(self._to_items, x_user, pooling="last")
         return x_user, x_item, projected
 
 

@@ -51,6 +51,7 @@ class KnowledgeGraph:
         self.triplets = np.asarray(self.triplets, dtype=np.int64)
         if self.triplets.size == 0:
             self.triplets = self.triplets.reshape(0, 3)
+        self._triplet_keys: np.ndarray | None = None
 
     @property
     def num_triplets(self) -> int:
@@ -74,6 +75,32 @@ class KnowledgeGraph:
 
     def triplet_set(self) -> set[tuple[int, int, int]]:
         return {tuple(int(v) for v in row) for row in self.triplets}
+
+    def _encode(self, heads: np.ndarray, relations: np.ndarray,
+                tails: np.ndarray) -> np.ndarray:
+        return ((heads * np.int64(self.num_relations) + relations)
+                * np.int64(self.num_entities) + tails)
+
+    def contains_triplets(self, heads: np.ndarray, relations: np.ndarray,
+                          tails: np.ndarray) -> np.ndarray:
+        """Vectorized membership test (the negative-sampling hot path).
+
+        The sorted key index is built lazily once per KG; the triplet
+        store is frozen, and every mutation path (``with_triplets``)
+        returns a fresh instance.
+        """
+        if self._triplet_keys is None:
+            self._triplet_keys = np.unique(self._encode(
+                self.triplets[:, 0], self.triplets[:, 1],
+                self.triplets[:, 2]))
+        keys = self._encode(np.asarray(heads, dtype=np.int64),
+                            np.asarray(relations, dtype=np.int64),
+                            np.asarray(tails, dtype=np.int64))
+        if not len(self._triplet_keys):
+            return np.zeros(len(keys), dtype=bool)
+        slot = np.searchsorted(self._triplet_keys, keys)
+        slot = np.minimum(slot, len(self._triplet_keys) - 1)
+        return self._triplet_keys[slot] == keys
 
 
 def _cooccurrence_pairs(interactions: np.ndarray, num_items: int,

@@ -1,0 +1,71 @@
+"""Operator folding: collapse a multi-hop propagation into one matrix.
+
+Because every graph here is frozen, an L-layer propagation is a *fixed*
+linear operator applied to trainable embeddings:
+
+* mean-pooled LightGCN propagation (paper eq. 5-6):
+  ``mean(E, A E, ..., A^L E) = M E`` with ``M = (1/(L+1)) sum_l A^l``;
+* plain stacked hops: ``A^L E``.
+
+``M`` is computed once at plan-build time, turning L sparse matmuls per
+forward (and L more in the backward pass) into a single one. Folding is
+only a win while ``M`` stays sparse — powers of an adjacency matrix fill
+in — so a density guard falls back to layer-by-layer propagation when
+``M`` would densify or would cost more to apply than the L separate hops.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from .ops import as_operator, density
+
+#: Refuse to fold when the folded operator would fill in more than this
+#: fraction of the matrix (memory guard).
+MAX_DENSITY = 0.25
+
+#: Refuse to fold when applying the folded operator would touch more
+#: nonzeros than the layer-by-layer schedule it replaces (cost guard).
+MAX_COST_RATIO = 1.0
+
+
+def fold_walk(operator: sp.spmatrix, num_layers: int, pooling: str = "mean",
+              max_density: float = MAX_DENSITY,
+              max_cost_ratio: float = MAX_COST_RATIO
+              ) -> sp.csr_matrix | None:
+    """Precompute the folded multi-hop operator, or ``None`` if the
+    density/cost guard says layer-by-layer is the better schedule.
+
+    ``pooling='mean'`` folds the LightGCN mean over layers 0..L
+    (including the identity layer); ``pooling='last'`` folds ``A^L``.
+    Powers are accumulated in float64 and cast back to the operator's
+    dtype at the end, so the folded operator matches the unfolded
+    schedule to that dtype's ulps.
+    """
+    if pooling not in ("mean", "last"):
+        raise ValueError(f"unknown pooling {pooling!r}")
+    operator = as_operator(operator)
+    if num_layers < 1:
+        return sp.identity(operator.shape[0], dtype=operator.dtype,
+                           format="csr")
+    if num_layers == 1 and pooling == "last":
+        return operator
+
+    walk = operator.astype("float64")
+    identity = sp.identity(operator.shape[0], dtype="float64", format="csr")
+    term = identity
+    total = identity.copy()
+    for _ in range(num_layers):
+        term = (term @ walk).tocsr()
+        if density(term) > max_density:
+            return None
+        if pooling == "mean":
+            total = (total + term).tocsr()
+            if density(total) > max_density:
+                return None
+    folded = total * (1.0 / (num_layers + 1)) if pooling == "mean" else term
+    if folded.nnz > max_cost_ratio * num_layers * max(operator.nnz, 1):
+        return None
+    folded = folded.tocsr().astype(operator.dtype)
+    folded.sort_indices()
+    return folded

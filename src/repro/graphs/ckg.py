@@ -91,11 +91,15 @@ def sample_kg_negatives(kg: KnowledgeGraph, batch_size: int,
         raise ValueError("cannot sample from an empty KG")
     idx = rng.integers(0, kg.num_triplets, size=batch_size)
     pos = kg.triplets[idx]
-    existing = kg.triplet_set()
     neg_tails = rng.integers(0, kg.num_entities, size=batch_size)
-    for i in range(batch_size):
+    # One vectorized membership pass over the batch; only the (rare)
+    # colliding slots re-draw, depth-first per slot so the generator
+    # stream matches the original all-Python rejection loop exactly.
+    for i in np.flatnonzero(
+            kg.contains_triplets(pos[:, 0], pos[:, 1], neg_tails)):
         tries = 0
-        while (int(pos[i, 0]), int(pos[i, 1]), int(neg_tails[i])) in existing \
+        while kg.contains_triplets(
+                pos[i, 0:1], pos[i, 1:2], neg_tails[i:i + 1])[0] \
                 and tries < 10:
             neg_tails[i] = rng.integers(0, kg.num_entities)
             tries += 1

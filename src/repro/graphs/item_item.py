@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd.sparse import symmetric_normalize
+from ..engine import normalized_adjacency
 
 
 def cosine_similarity_matrix(features: np.ndarray) -> np.ndarray:
@@ -83,14 +83,14 @@ class ItemItemGraph:
 
         # Training view: warm items only (cold items are invisible in train).
         train_knn = knn_sparsify(similarity, top_k, restrict_to=warm_items)
-        self.train_adjacency = symmetric_normalize(train_knn)
+        self.train_adjacency = normalized_adjacency(train_knn, "sym")
 
         # Inference view: all items, with the cold->warm mask applied
         # *before* normalization so degrees reflect the masked structure.
         full_knn = knn_sparsify(similarity, top_k)
         masked = cold_mask_matrix(full_knn, self.is_cold)
-        self.infer_adjacency = symmetric_normalize(masked)
-        self._unmasked_infer_adjacency = symmetric_normalize(full_knn)
+        self.infer_adjacency = normalized_adjacency(masked, "sym")
+        self._unmasked_infer_adjacency = normalized_adjacency(full_knn, "sym")
 
     def adjacency(self, mode: str = "train",
                   masked: bool = True) -> sp.csr_matrix:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd.sparse import row_softmax
+from ..engine import normalized_adjacency
 
 
 def cooccurrence_counts(user_item: sp.spmatrix) -> sp.csr_matrix:
@@ -53,7 +53,7 @@ class UserUserGraph:
         counts = cooccurrence_counts(user_item)
         self.topk_counts = topk_per_row(counts, top_k)
         # eq. 19: attention = softmax over each row's co-occurrence counts.
-        self.attention = row_softmax(self.topk_counts)
+        self.attention = normalized_adjacency(self.topk_counts, "softmax")
 
     @property
     def num_users(self) -> int:

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import apply_dense, mean_aggregation_operator
+
 
 def _unit_rows(matrix: np.ndarray) -> np.ndarray:
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
@@ -109,15 +111,18 @@ def ingest_items(store, features: dict, top_k: int | None = None
     if top_k <= 0:
         raise ValueError(f"top_k must be positive, got {top_k}")
     warm = store.warm_items()
-    new_vectors = np.zeros((num_new, store.dim), dtype=np.float64)
+    new_vectors = np.zeros((num_new, store.dim), dtype=np.float32)
     for modality in store.modalities:
         new_feats = np.asarray(features[modality], dtype=np.float32)
         expansion = expand_item_graph(store.features[modality], new_feats,
                                       warm, top_k, modality=modality)
         # One unweighted propagation hop over the expanded edges, as in
         # the frozen graphs' kNN convolution (eq. 2-3 reduce to a plain
-        # neighbor mean for a single appended row).
-        new_vectors += store.item_vectors[expansion.neighbors].mean(axis=1)
+        # neighbor mean for a single appended row): expressed through the
+        # same engine operator form every model's propagation uses.
+        operator = mean_aggregation_operator(expansion.neighbors,
+                                             store.num_items)
+        new_vectors += apply_dense(operator, store.item_vectors)
     new_vectors /= len(store.modalities)
 
     first_id = store.num_items

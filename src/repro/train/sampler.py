@@ -28,6 +28,11 @@ class BPRSampler:
         self._positives: dict[int, set] = {}
         for user, item in self.train:
             self._positives.setdefault(int(user), set()).add(int(item))
+        # Sorted (user, item) keys for the vectorized collision test in
+        # sample_negatives; empty train sets still get a valid array.
+        self._positive_keys = np.unique(
+            self.train[:, 0] * np.int64(num_items) + self.train[:, 1]
+        ) if len(self.train) else np.empty(0, dtype=np.int64)
         if strategy == "uniform":
             self._probs = None
         elif strategy == "popularity":
@@ -48,11 +53,30 @@ class BPRSampler:
     def positives_of(self, user: int) -> set:
         return self._positives.get(int(user), set())
 
+    def _is_positive(self, users: np.ndarray,
+                     items: np.ndarray) -> np.ndarray:
+        """Vectorized membership test against the training positives."""
+        if not len(self._positive_keys):
+            return np.zeros(len(users), dtype=bool)
+        keys = users * np.int64(self.num_items) + items
+        slot = np.searchsorted(self._positive_keys, keys)
+        slot = np.minimum(slot, len(self._positive_keys) - 1)
+        return self._positive_keys[slot] == keys
+
     def sample_negatives(self, users: np.ndarray) -> np.ndarray:
-        """One warm negative per user, avoiding their training positives."""
+        """One warm negative per user, avoiding their training positives.
+
+        The batch is tested for collisions in one vectorized pass; only
+        the (rare) colliding slots fall back to the per-slot rejection
+        loop. Redraws are depth-first per slot, consuming the generator
+        stream exactly like the original all-Python loop, so sampling —
+        and therefore every downstream training trajectory — is
+        bit-reproducible against it.
+        """
+        users = np.asarray(users, dtype=np.int64)
         negatives = self._draw(len(users))
-        for i, user in enumerate(users):
-            positives = self._positives.get(int(user), set())
+        for i in np.flatnonzero(self._is_positive(users, negatives)):
+            positives = self._positives.get(int(users[i]), set())
             tries = 0
             while int(negatives[i]) in positives and tries < 20:
                 negatives[i] = self._draw(1)[0]

@@ -7,7 +7,8 @@ import pytest
 
 from repro.analysis.case_study import (run_case_study,
                                        similar_items_under_subset)
-from repro.analysis.timing import measure_feature_sets
+from repro.analysis.timing import (measure_feature_sets,
+                                   measure_training_throughput)
 from repro.core import FirzenModel
 from repro.train import TrainConfig, train_model
 
@@ -60,3 +61,30 @@ class TestTiming:
         # Adding the knowledge graph must increase training cost (the
         # paper's headline Table VII observation).
         assert rows[1].train_seconds > rows[0].train_seconds
+
+
+class TestTrainingThroughput:
+    def test_measures_both_schedules(self, tiny_dataset):
+        rows = measure_training_throughput(
+            tiny_dataset, model_names=("LightGCN",), epochs=2,
+            embedding_dim=16,
+            train_config=TrainConfig(batch_size=256, learning_rate=0.05))
+        (row,) = rows
+        assert row.model == "LightGCN"
+        assert row.epochs == 2
+        assert row.engine_epochs_per_second > 0
+        assert row.layerwise_epochs_per_second > 0
+        assert row.fold_speedup > 0
+        cells = row.as_row()
+        assert cells["Model"] == "LightGCN"
+        assert set(cells) == {"Model", "Epochs", "Engine (epochs/s)",
+                              "Layer-by-layer (epochs/s)", "Fold speedup"}
+
+    def test_restores_engine_fold_configuration(self, tiny_dataset):
+        from repro import engine
+        before = engine.get_engine().fold
+        measure_training_throughput(
+            tiny_dataset, model_names=("LightGCN",), epochs=1,
+            embedding_dim=16,
+            train_config=TrainConfig(batch_size=256))
+        assert engine.get_engine().fold == before

@@ -23,8 +23,56 @@ class TestSparseMatmul:
         expected = matrix.T @ np.ones((5, 3))
         np.testing.assert_allclose(x.grad, expected)
 
+    def test_csr_input_is_never_reconverted(self, rng, monkeypatch):
+        """Regression: the seed called ``matrix.tocsr()`` on every
+        multiply. An already-CSR operator must pass through untouched."""
+        matrix = sp.random(5, 4, density=0.6, random_state=0, format="csr")
+        calls = []
+        original = sp.csr_matrix.tocsr
+
+        def counting_tocsr(self, *args, **kwargs):
+            calls.append(self)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(sp.csr_matrix, "tocsr", counting_tocsr)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        for _ in range(3):
+            sparse_matmul(matrix, x).sum().backward()
+        assert calls == []
+
+    def test_non_csr_input_converted_once_per_call(self, rng):
+        matrix = sp.random(5, 4, density=0.6, random_state=0, format="coo")
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_allclose(
+            sparse_matmul(matrix, x).data, matrix.toarray() @ x.data)
+
+    def test_dense_input_rejected(self, rng):
+        with np.testing.assert_raises(TypeError):
+            sparse_matmul(np.eye(4), Tensor(rng.normal(size=(4, 3))))
+
+    def test_float32_operand_stays_float32(self, rng):
+        matrix = sp.random(5, 4, density=0.6, random_state=0,
+                           format="csr").astype(np.float32)
+        x = Tensor(rng.normal(size=(4, 3)).astype(np.float32),
+                   requires_grad=True)
+        out = sparse_matmul(matrix, x)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
 
 class TestNormalizations:
+    def test_normalizers_emit_float64_csr(self, rng):
+        """Training operators stay float64 (the published tables'
+        dtype); the engine materializes dtype-matched variants once per
+        plan for float32 consumers."""
+        dense = (rng.random((6, 6)) > 0.5).astype(float)
+        matrix = sp.csr_matrix(dense)
+        for normalize in (symmetric_normalize, row_normalize, row_softmax):
+            out = normalize(matrix)
+            assert out.dtype == np.float64
+            assert out.format == "csr"
+
     def test_symmetric_normalize_zero_rows_stay_zero(self):
         adjacency = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
         out = symmetric_normalize(adjacency).toarray()

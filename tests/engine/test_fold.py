@@ -1,0 +1,90 @@
+"""Operator folding: correctness against dense reference, guards."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import pytest
+
+from repro.engine import MAX_DENSITY, OPERATOR_DTYPE, density, fold_walk
+
+
+@pytest.fixture()
+def operator(rng) -> sp.csr_matrix:
+    return sp.random(40, 40, density=0.08, format="csr",
+                     random_state=7).astype(np.float32)
+
+
+def dense_mean_walk(matrix: np.ndarray, num_layers: int) -> np.ndarray:
+    term = np.eye(matrix.shape[0])
+    total = term.copy()
+    for _ in range(num_layers):
+        term = term @ matrix
+        total += term
+    return total / (num_layers + 1)
+
+
+class TestFoldWalk:
+    @pytest.mark.parametrize("num_layers", [1, 2, 3])
+    def test_mean_matches_dense_reference(self, operator, num_layers):
+        folded = fold_walk(operator, num_layers, "mean", max_density=1.0,
+                           max_cost_ratio=np.inf)
+        reference = dense_mean_walk(operator.toarray().astype(np.float64),
+                                    num_layers)
+        np.testing.assert_allclose(folded.toarray(), reference,
+                                   rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("num_layers", [2, 3])
+    def test_last_matches_matrix_power(self, operator, num_layers):
+        folded = fold_walk(operator, num_layers, "last", max_density=1.0,
+                           max_cost_ratio=np.inf)
+        reference = np.linalg.matrix_power(
+            operator.toarray().astype(np.float64), num_layers)
+        np.testing.assert_allclose(folded.toarray(), reference,
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_zero_layers_is_identity(self, operator):
+        folded = fold_walk(operator, 0, "mean")
+        np.testing.assert_allclose(folded.toarray(),
+                                   np.eye(operator.shape[0]))
+
+    def test_one_layer_last_is_the_operator_itself(self, operator):
+        assert fold_walk(operator, 1, "last") is operator
+
+    def test_output_is_float32_csr(self, operator):
+        folded = fold_walk(operator, 2, "mean", max_density=1.0,
+                           max_cost_ratio=np.inf)
+        assert folded.format == "csr"
+        assert folded.dtype == OPERATOR_DTYPE
+
+    def test_unknown_pooling_rejected(self, operator):
+        with pytest.raises(ValueError, match="pooling"):
+            fold_walk(operator, 2, "sum")
+
+
+class TestGuards:
+    def test_density_guard_refuses_densifying_folds(self):
+        dense_ish = sp.random(30, 30, density=0.4, format="csr",
+                              random_state=3).astype(np.float32)
+        assert fold_walk(dense_ish, 3, "mean",
+                         max_density=MAX_DENSITY) is None
+
+    def test_zero_density_budget_always_falls_back(self, operator):
+        assert fold_walk(operator, 2, "mean", max_density=0.0) is None
+
+    def test_cost_guard_refuses_unprofitable_folds(self, operator):
+        # With a ratio of 0 no folded operator can ever be cheaper than
+        # the layer-by-layer schedule it replaces.
+        assert fold_walk(operator, 2, "mean", max_density=1.0,
+                         max_cost_ratio=0.0) is None
+
+    def test_guard_accepts_when_powers_stay_sparse(self):
+        # A permutation matrix's powers never fill in: folding must win.
+        n = 50
+        perm = np.random.default_rng(0).permutation(n)
+        matrix = sp.csr_matrix(
+            (np.ones(n, dtype=np.float32), (np.arange(n), perm)),
+            shape=(n, n))
+        folded = fold_walk(matrix, 3, "last")
+        assert folded is not None
+        assert density(folded) == pytest.approx(1.0 / n)

@@ -1,0 +1,238 @@
+"""Propagation plans: parity, gradients, caching, dtype stability."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import scipy.sparse as sp
+import pytest
+
+from repro.autograd import Tensor, mean_stack
+from repro.engine import (OPERATOR_DTYPE, PropagationEngine, PropagationPlan,
+                          apply_dense, as_operator, mean_aggregation_operator,
+                          propagate)
+from repro.graphs.interaction import InteractionGraph
+from repro.graphs.item_item import build_item_item_graphs
+from repro.graphs.user_user import UserUserGraph
+
+
+@pytest.fixture()
+def engine() -> PropagationEngine:
+    """A private engine instance so tests never pollute the singleton."""
+    return PropagationEngine()
+
+
+def graph_operators(dataset) -> dict:
+    """One frozen operator per graph type of the paper."""
+    interaction = InteractionGraph(dataset.num_users, dataset.num_items,
+                                   dataset.split.train)
+    item_graphs = build_item_item_graphs(
+        {m: dataset.features[m] for m in dataset.modalities}, 5,
+        dataset.split.warm_items, dataset.split.is_cold)
+    user_graph = UserUserGraph(interaction.user_item_matrix, 5)
+    return {
+        "interaction": interaction.norm_adjacency,
+        "item_item": item_graphs[dataset.modalities[0]].train_adjacency,
+        "user_user": user_graph.attention,
+    }
+
+
+class TestFoldedParity:
+    """Folded and layer-by-layer schedules are the same linear map —
+    on every one of the paper's three graph types."""
+
+    @pytest.mark.parametrize("graph_kind",
+                             ["interaction", "item_item", "user_user"])
+    @pytest.mark.parametrize("pooling", ["mean", "last"])
+    def test_forward_parity(self, tiny_dataset, rng, graph_kind, pooling):
+        operator = graph_operators(tiny_dataset)[graph_kind]
+        x = Tensor(rng.normal(size=(operator.shape[0], 8))
+                   .astype(np.float32))
+        folded = PropagationPlan(operator, 2, pooling, fold=True,
+                                 max_density=1.0, max_cost_ratio=np.inf)
+        unfolded = PropagationPlan(operator, 2, pooling, fold=False)
+        assert folded.is_folded and not unfolded.is_folded
+        np.testing.assert_allclose(folded.apply(x).data,
+                                   unfolded.apply(x).data,
+                                   rtol=1e-4, atol=1e-6)
+
+    @pytest.mark.parametrize("graph_kind",
+                             ["interaction", "item_item", "user_user"])
+    def test_gradient_parity(self, tiny_dataset, rng, graph_kind):
+        operator = graph_operators(tiny_dataset)[graph_kind]
+        seed = rng.normal(size=(operator.shape[0], 8)).astype(np.float32)
+        grads = {}
+        for fold in (True, False):
+            x = Tensor(seed.copy(), requires_grad=True)
+            plan = PropagationPlan(operator, 2, "mean", fold=fold,
+                                   max_density=1.0, max_cost_ratio=np.inf)
+            plan.apply(x).sum().backward()
+            grads[fold] = x.grad
+        np.testing.assert_allclose(grads[True], grads[False],
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_apply_layers_matches_manual_stack(self, tiny_dataset, rng):
+        operator = graph_operators(tiny_dataset)["interaction"]
+        x = Tensor(rng.normal(size=(operator.shape[0], 4))
+                   .astype(np.float32))
+        plan = PropagationPlan(operator, 3, "mean")
+        layers = plan.apply_layers(x)
+        assert len(layers) == 4
+        np.testing.assert_allclose(mean_stack(layers).data,
+                                   PropagationPlan(operator, 3, "mean",
+                                                   fold=False).apply(x).data,
+                                   rtol=1e-5, atol=1e-7)
+
+
+class TestDensityGuardFallback:
+    def test_guarded_plan_falls_back_and_stays_correct(self, rng):
+        operator = as_operator(sp.random(30, 30, density=0.3, format="csr",
+                                         random_state=5))
+        engine = PropagationEngine(max_density=0.0)
+        x = Tensor(rng.normal(size=(30, 4)).astype(np.float32))
+        plan = engine.plan(operator, 2, "mean")
+        assert not plan.is_folded
+        reference = PropagationPlan(operator, 2, "mean", fold=False)
+        np.testing.assert_allclose(plan.apply(x).data,
+                                   reference.apply(x).data)
+        assert engine.stats.plans_folded == 0
+
+
+class TestDtypeStability:
+    def test_float32_propagation_stays_float32(self, rng):
+        """A float32 operand multiplies a float32 operator variant: no
+        upcast anywhere in forward or backward."""
+        operator = as_operator(sp.random(20, 20, density=0.2, format="csr",
+                                         random_state=2))
+        x = Tensor(rng.normal(size=(20, 4)).astype(np.float32),
+                   requires_grad=True)
+        out = propagate(operator, x, num_layers=2, pooling="mean")
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_float64_operand_keeps_float64_and_exact_operator(self, rng):
+        operator = as_operator(sp.random(20, 20, density=0.2, format="csr",
+                                         random_state=2))
+        x = Tensor(rng.normal(size=(20, 4)))
+        plan = PropagationPlan(operator, 2, "mean", fold=False)
+        assert plan.apply(x).data.dtype == np.float64
+        # The float64 variant is the original operator, not a float32
+        # round-trip: training math is bit-identical to the pre-engine
+        # implementation.
+        single, _ = plan._matrices(np.dtype(np.float64))
+        assert single is operator
+
+    def test_dtype_variants_materialized_once(self, rng):
+        operator = as_operator(sp.random(20, 20, density=0.2, format="csr",
+                                         random_state=2))
+        plan = PropagationPlan(operator, 2, "mean")
+        first, _ = plan._matrices(np.dtype(np.float32))
+        again, _ = plan._matrices(np.dtype(np.float32))
+        assert first is again
+        assert first.dtype == np.float32
+
+    def test_plan_operator_is_pinned_csr(self, rng):
+        matrix = sp.random(20, 20, density=0.2, format="coo",
+                           random_state=3)
+        plan = PropagationPlan(matrix, 1, "last")
+        assert plan.operator.format == "csr"
+
+    def test_as_operator_preserves_nonzero_order(self, rng):
+        """Re-sorting CSR indices would change summation order and
+        perturb results by ulps; already-CSR inputs pass through."""
+        matrix = sp.random(20, 20, density=0.2, format="csr",
+                           random_state=3)
+        assert as_operator(matrix) is matrix
+
+    def test_as_operator_compact_dtype_for_serving(self, rng):
+        matrix = sp.random(20, 20, density=0.2, format="csr",
+                           random_state=3)
+        compact = as_operator(matrix, dtype=OPERATOR_DTYPE)
+        assert compact.dtype == np.float32
+        assert as_operator(compact, dtype=OPERATOR_DTYPE) is compact
+
+
+class TestEngineCache:
+    def test_plan_cache_hits_on_same_operator(self, engine, rng):
+        operator = as_operator(sp.random(25, 25, density=0.1, format="csr",
+                                         random_state=4))
+        x = Tensor(rng.normal(size=(25, 4)).astype(np.float32))
+        engine.propagate(operator, x, 2)
+        engine.propagate(operator, x, 2)
+        assert engine.stats.plans_built == 1
+        assert engine.stats.plan_hits == 1
+
+    def test_new_operator_builds_new_plan(self, engine, rng):
+        x = Tensor(rng.normal(size=(25, 4)).astype(np.float32))
+        for state in (6, 7):
+            operator = as_operator(sp.random(25, 25, density=0.1,
+                                             format="csr",
+                                             random_state=state))
+            engine.propagate(operator, x, 2)
+        assert engine.stats.plans_built == 2
+
+    def test_normalized_cache_and_bypass(self, engine):
+        adjacency = sp.random(25, 25, density=0.1, format="csr",
+                              random_state=8)
+        first = engine.normalized(adjacency, "sym")
+        assert engine.normalized(adjacency, "sym") is first
+        assert engine.stats.normalized_hits == 1
+        engine.normalized(adjacency, "sym", cache=False)
+        assert engine.stats.normalized_built == 2
+
+    def test_dropped_operators_take_their_plans_with_them(self, engine,
+                                                          rng):
+        """Plans ride on the source matrix: dropping the graph (rebind,
+        per-batch augmentation) must free the compiled plan too."""
+        import weakref
+
+        x = Tensor(rng.normal(size=(25, 4)).astype(np.float32))
+        operator = as_operator(sp.random(25, 25, density=0.1, format="csr",
+                                         random_state=9))
+        plan_ref = weakref.ref(engine.plan(operator, 2))
+        assert plan_ref() is not None
+        del operator
+        gc.collect()
+        assert plan_ref() is None
+
+    def test_clear_invalidates_cached_plans(self, engine, rng):
+        operator = as_operator(sp.random(25, 25, density=0.1, format="csr",
+                                         random_state=10))
+        first = engine.plan(operator, 2)
+        engine.clear()
+        assert engine.plan(operator, 2) is not first
+        assert engine.stats.plans_built == 2
+
+    def test_engines_never_share_cache_entries(self, rng):
+        """Two engines with different fold configurations must not serve
+        each other's plans off the shared per-matrix cache dict."""
+        operator = as_operator(sp.random(25, 25, density=0.1, format="csr",
+                                         random_state=11))
+        folding = PropagationEngine(fold=True, max_density=1.0,
+                                    max_cost_ratio=np.inf)
+        plain = PropagationEngine(fold=False)
+        assert folding.plan(operator, 2).is_folded
+        assert not plain.plan(operator, 2).is_folded
+
+    def test_fold_opt_out_for_throwaway_graphs(self, rng):
+        """plan(fold=False) must not pay the folding sparse-sparse
+        products, and the decision is part of the cache key."""
+        operator = as_operator(sp.random(25, 25, density=0.1, format="csr",
+                                         random_state=12))
+        engine = PropagationEngine(fold=True, max_density=1.0,
+                                   max_cost_ratio=np.inf)
+        assert not engine.plan(operator, 2, fold=False).is_folded
+        assert engine.plan(operator, 2).is_folded
+
+
+class TestServingOperators:
+    def test_mean_aggregation_operator_is_neighbor_mean(self, rng):
+        neighbors = np.array([[0, 2, 4], [1, 1, 3]])
+        vectors = rng.normal(size=(5, 6)).astype(np.float32)
+        operator = mean_aggregation_operator(neighbors, 5)
+        out = apply_dense(operator, vectors)
+        np.testing.assert_allclose(out, vectors[neighbors].mean(axis=1),
+                                   rtol=1e-6, atol=1e-7)
+        assert out.dtype == OPERATOR_DTYPE
