@@ -2,30 +2,42 @@
 
 Measures wall-clock training time and per-user inference latency for
 Firzen variants that consume increasing feature sets: BA only, +KA, +VA,
-+TA — the exact rows of Table VII — plus two addenda:
++TA — the exact rows of Table VII — plus three addenda:
 
 * serving: full-ranking top-k throughput of the seed per-user Python
   loop vs the batched :class:`repro.serve.ranker.BatchRanker` path;
 * training: epochs/second per model through the frozen-graph engine
   (:func:`measure_training_throughput`), with the engine's precompiled
   (folded) schedule compared against the layer-by-layer schedule the
-  seed ran.
+  seed ran;
+* optimizer/gradient: the row-sparse gradient pipeline vs the dense
+  schedule — a per-phase training-step breakdown
+  (:func:`measure_step_breakdown`) and epochs/second on a
+  catalog-dominated fixture (:func:`measure_sparse_training_throughput`
+  over :func:`catalog_dominated_dataset`), both training bit-identical
+  models in either mode.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 from .. import engine as _engine
+from ..autograd.optim import Adam, clip_grad_norm
 from ..baselines import create_model
 from ..core.config import FirzenConfig
 from ..core.firzen import FirzenModel
+from ..data import build_dataset
 from ..data.datasets import RecDataset
 from ..data.splits import ColdStartSplit
+from ..data.world import WorldConfig
 from ..serve.ranker import BatchRanker, interactions_to_csr
+from ..train.sampler import BPRSampler
 from ..train.trainer import TrainConfig, train_model
 
 
@@ -337,3 +349,208 @@ def measure_ranking_throughput(model, split: ColdStartSplit,
         model, ranker, "cold", users, np.asarray(split.cold_items),
         {}, k, repeats)
     return [warm, cold]
+
+
+# ----------------------------------------------------------------------
+# optimizer/gradient addendum: row-sparse pipeline vs dense baseline
+# ----------------------------------------------------------------------
+@contextmanager
+def _sparse_mode(enabled: bool):
+    """Force ``REPRO_SPARSE_GRAD`` for the duration of one measurement."""
+    previous = os.environ.get("REPRO_SPARSE_GRAD")
+    os.environ["REPRO_SPARSE_GRAD"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SPARSE_GRAD", None)
+        else:
+            os.environ["REPRO_SPARSE_GRAD"] = previous
+
+
+def catalog_dominated_dataset(scale: float = 1.0,
+                              seed: int = 0) -> RecDataset:
+    """Synthetic timing fixture where the catalog dwarfs the active set.
+
+    Models the workload the row-sparse gradient pipeline targets (and
+    the paper's strict cold-start regime taken to production scale):
+    a large item catalog of which most rows never receive a gradient —
+    80% strict cold-start items plus whatever warm items a batch
+    doesn't touch. Dense training scales with the catalog here; the
+    sparse pipeline scales with the touched rows.
+    """
+    config = WorldConfig(
+        num_users=int(500 * scale),
+        num_items=int(12000 * scale),
+        num_clusters=8,
+        interactions_per_user_mean=60.0,
+        seed=seed,
+    )
+    return build_dataset("synthetic-catalog", config, cold_fraction=0.8)
+
+
+@dataclass
+class StepPhaseBreakdown:
+    """Per-phase cost of one training step (milliseconds per step).
+
+    ``step_ms`` includes the epoch-boundary flush of deferred row
+    updates — that replay is optimizer-step work the sparse schedule
+    moved, not removed.
+    """
+
+    model: str
+    mode: str  # "sparse" | "dense"
+    steps: int
+    sample_ms: float
+    forward_ms: float
+    backward_ms: float
+    clip_ms: float
+    step_ms: float
+
+    PHASES = ("sample", "forward", "backward", "clip", "step")
+
+    @property
+    def total_ms(self) -> float:
+        return (self.sample_ms + self.forward_ms + self.backward_ms
+                + self.clip_ms + self.step_ms)
+
+    def phase_ms(self, phase: str) -> float:
+        return getattr(self, f"{phase}_ms")
+
+
+def measure_step_breakdown(dataset: RecDataset, model_name: str,
+                           epochs: int = 4, batch_size: int = 512,
+                           learning_rate: float = 0.05,
+                           embedding_dim: int = 32, seed: int = 0,
+                           grad_clip: float = 10.0,
+                           **model_kwargs) -> dict[str, StepPhaseBreakdown]:
+    """Time each training-step phase with sparse gradients on and off.
+
+    Runs the trainer's exact inner loop (sample / forward / backward /
+    clip / step) phase-by-phase under a wall clock, one full training
+    run per mode from the same seed, and returns
+    ``{"sparse": ..., "dense": ...}``. Both runs do identical numerical
+    work — the bit-reproducibility contract — so the per-phase deltas
+    are pure representation cost.
+    """
+    results: dict[str, StepPhaseBreakdown] = {}
+    for mode in ("sparse", "dense"):
+        with _sparse_mode(mode == "sparse"):
+            model = create_model(model_name, dataset, seed=seed,
+                                 embedding_dim=embedding_dim,
+                                 **model_kwargs)
+            rng = np.random.default_rng(seed)
+            sampler = BPRSampler(dataset.split.train, dataset.num_items,
+                                 dataset.split.warm_items, rng)
+            optimizer = Adam(model.parameters(), lr=learning_rate)
+            phase_s = dict.fromkeys(StepPhaseBreakdown.PHASES, 0.0)
+            steps = 0
+            for _ in range(epochs):
+                model.train()
+                model.invalidate()
+                start = time.perf_counter()
+                batches = list(sampler.epoch_batches(batch_size))
+                phase_s["sample"] += time.perf_counter() - start
+                for users, pos, neg in batches:
+                    optimizer.zero_grad()
+                    start = time.perf_counter()
+                    loss = model.loss(users, pos, neg)
+                    phase_s["forward"] += time.perf_counter() - start
+                    start = time.perf_counter()
+                    loss.backward()
+                    phase_s["backward"] += time.perf_counter() - start
+                    start = time.perf_counter()
+                    clip_grad_norm(optimizer.params, grad_clip)
+                    phase_s["clip"] += time.perf_counter() - start
+                    start = time.perf_counter()
+                    optimizer.step()
+                    phase_s["step"] += time.perf_counter() - start
+                    steps += 1
+                start = time.perf_counter()
+                optimizer.flush()
+                phase_s["step"] += time.perf_counter() - start
+            optimizer.release()
+            results[mode] = StepPhaseBreakdown(
+                model=model_name, mode=mode, steps=steps,
+                **{f"{phase}_ms": 1000.0 * seconds / max(steps, 1)
+                   for phase, seconds in phase_s.items()})
+    return results
+
+
+def breakdown_rows(breakdowns: dict[str, StepPhaseBreakdown]) -> list[dict]:
+    """Render a sparse-vs-dense per-phase comparison table."""
+    sparse, dense = breakdowns["sparse"], breakdowns["dense"]
+    rows = []
+    for phase in StepPhaseBreakdown.PHASES + ("total",):
+        dense_ms = (dense.total_ms if phase == "total"
+                    else dense.phase_ms(phase))
+        sparse_ms = (sparse.total_ms if phase == "total"
+                     else sparse.phase_ms(phase))
+        rows.append({
+            "Model": sparse.model,
+            "Phase": phase,
+            "Dense (ms/step)": round(dense_ms, 3),
+            "Sparse (ms/step)": round(sparse_ms, 3),
+            "Speedup": round(dense_ms / max(sparse_ms, 1e-9), 2),
+        })
+    return rows
+
+
+@dataclass
+class SparseThroughputRow:
+    """Epochs/second with the row-sparse gradient pipeline on vs off.
+
+    The two runs train bit-identical models (sparse off is the dense
+    reference schedule); only wall-clock differs.
+    """
+
+    model: str
+    epochs: int
+    sparse_epochs_per_second: float
+    dense_epochs_per_second: float
+
+    @property
+    def speedup(self) -> float:
+        return self.sparse_epochs_per_second / max(
+            self.dense_epochs_per_second, 1e-12)
+
+    def as_row(self) -> dict:
+        return {
+            "Model": self.model,
+            "Epochs": self.epochs,
+            "Sparse (epochs/s)": round(self.sparse_epochs_per_second, 2),
+            "Dense (epochs/s)": round(self.dense_epochs_per_second, 2),
+            "Sparse speedup": round(self.speedup, 2),
+        }
+
+
+def measure_sparse_training_throughput(
+        dataset: RecDataset, model_names: tuple = ("BPR",),
+        epochs: int = 12, seed: int = 0, repeats: int = 3,
+        train_config: TrainConfig | None = None,
+        **model_kwargs) -> list[SparseThroughputRow]:
+    """Epochs/second per model, sparse gradient pipeline vs dense.
+
+    Same protocol as :func:`measure_training_throughput` (fresh model
+    per repeat, one warm-up step outside the timer, final-epoch
+    validation included, best-of-``repeats``), toggled over
+    ``REPRO_SPARSE_GRAD``.
+    """
+    train_config = train_config or TrainConfig(batch_size=512,
+                                               learning_rate=0.05)
+    rows = []
+    for name in model_names:
+        with _sparse_mode(True):
+            sparse_eps = _epochs_per_second(
+                name, dataset, epochs, train_config, seed, repeats,
+                **model_kwargs)
+        with _sparse_mode(False):
+            dense_eps = _epochs_per_second(
+                name, dataset, epochs, train_config, seed, repeats,
+                **model_kwargs)
+        rows.append(SparseThroughputRow(
+            model=name, epochs=epochs,
+            sparse_epochs_per_second=sparse_eps,
+            dense_epochs_per_second=dense_eps,
+        ))
+    return rows

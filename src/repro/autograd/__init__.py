@@ -13,6 +13,7 @@ from .functional import (
     softmax_cross_entropy,
     stack,
 )
+from .rowsparse import RowSparseGrad
 from .sparse import (
     build_bipartite_adjacency,
     row_normalize,
@@ -24,6 +25,7 @@ from .tensor import Tensor
 
 __all__ = [
     "Tensor",
+    "RowSparseGrad",
     "bpr_loss",
     "concat",
     "cosine_similarity",

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .rowsparse import RowSparseGrad
 from .tensor import Tensor, _unbroadcast
 
 
@@ -18,11 +19,24 @@ def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+    shapes = [t.data.shape for t in tensors]
 
     requires = any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         def backward(g):
+            if isinstance(g, RowSparseGrad):
+                # Row-range split of a coalesced sparse gradient: each
+                # part keeps its (already unique, sorted) rows shifted
+                # into part coordinates. Only reachable when axis == 0.
+                grads = []
+                for i in range(len(tensors)):
+                    lo, hi = np.searchsorted(g.rows,
+                                             [offsets[i], offsets[i + 1]])
+                    grads.append(RowSparseGrad(
+                        g.rows[lo:hi] - offsets[i], g.values[lo:hi],
+                        tuple(shapes[i])))
+                return tuple(grads)
             slicer = [slice(None)] * g.ndim
             grads = []
             for i in range(len(tensors)):
@@ -30,6 +44,11 @@ def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
                 grads.append(g[tuple(slicer)])
             return tuple(grads)
 
+        # Sparse upstream gradients only make sense for row (axis-0)
+        # concatenation of 2-D blocks; the backward sweep densifies
+        # otherwise.
+        backward.accepts_sparse = (axis == 0 and all(
+            len(s) == 2 for s in shapes))
         out._parents = tuple(tensors)
         out._backward = backward
     return out

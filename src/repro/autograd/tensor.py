@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import rowsparse
+from .rowsparse import RowSparseGrad
+
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
@@ -69,15 +72,19 @@ class Tensor:
         Whether gradients should be accumulated into :attr:`grad`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_lazy")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad)
-        self.grad: np.ndarray | None = None
+        self.grad: np.ndarray | RowSparseGrad | None = None
         self._backward = None
         self._parents: tuple = ()
         self.name = name
+        #: deferred-update states installed by lazy optimizers (see
+        #: :class:`_LazyParam`); ``None`` for ordinary tensors.
+        self._lazy = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -135,11 +142,35 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _rawdata(self) -> np.ndarray:
+        """The stored array without lazy-sync side effects (see
+        :class:`_LazyParam`, which overrides :attr:`data` with a syncing
+        property)."""
+        return self.data
+
+    def _accumulate(self, grad) -> None:
         if not self.requires_grad:
             return
+        if isinstance(grad, RowSparseGrad):
+            # Sparse gradients are only kept sparse for parameters a lazy
+            # optimizer manages; everything else densifies immediately,
+            # preserving the historical `.grad` ndarray contract.
+            if self._lazy is None:
+                grad = grad.to_dense()
+            elif self.grad is None:
+                self.grad = grad
+                return
+            elif isinstance(self.grad, RowSparseGrad):
+                self.grad = self.grad.add(grad)
+                return
+            else:
+                grad.add_to_dense(self.grad)
+                return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            self.grad = np.array(grad, dtype=self._rawdata().dtype,
+                                 copy=True)
+        elif isinstance(self.grad, RowSparseGrad):
+            self.grad = self.grad.add_dense(grad)
         else:
             self.grad += grad
 
@@ -186,6 +217,12 @@ class Tensor:
             if node._backward is None:
                 node._accumulate(node_grad)
                 continue
+            if isinstance(node_grad, RowSparseGrad) and not getattr(
+                    node._backward, "accepts_sparse", False):
+                # Only sparse-aware closures (axis-0 concat) can route a
+                # row-sparse gradient; everything else gets the dense
+                # array the closure was written against.
+                node_grad = node_grad.to_dense()
             parent_grads = node._backward(node_grad)
             if not isinstance(parent_grads, tuple):
                 parent_grads = (parent_grads,)
@@ -195,7 +232,8 @@ class Tensor:
                 if parent._backward is None and not parent._parents:
                     parent._accumulate(pgrad)
                 elif id(parent) in grads:
-                    grads[id(parent)] = grads[id(parent)] + pgrad
+                    grads[id(parent)] = rowsparse.grad_sum(
+                        grads[id(parent)], pgrad)
                 else:
                     grads[id(parent)] = pgrad
 
@@ -503,18 +541,36 @@ class Tensor:
     # indexing / gathering
     # ------------------------------------------------------------------
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
+        basic = isinstance(index, (slice, int)) or (
+            isinstance(index, tuple)
+            and all(isinstance(i, (slice, int)) for i in index))
+        row_gather = (not basic and self._rawdata().ndim == 2
+                      and isinstance(index, np.ndarray)
+                      and index.ndim == 1
+                      and np.issubdtype(index.dtype, np.integer)
+                      and (not index.size or index.min() >= 0))
+        if row_gather:
+            # Row gathers of a lazy parameter materialize only the
+            # requested rows, like take_rows.
+            index = index.astype(np.int64, copy=False)
+            src = self._gather_source(index)
+        else:
+            src = self.data
+        data = src[index]
+        shape, dtype = src.shape, src.dtype
 
         def backward(g):
-            grad = np.zeros_like(self.data)
-            if isinstance(index, (slice, int)) or (
-                    isinstance(index, tuple)
-                    and all(isinstance(i, (slice, int)) for i in index)):
+            if basic:
                 # Basic indexing never aliases, so a direct assignment
                 # replaces the (slow) unbuffered np.add.at.
+                grad = np.zeros(shape, dtype=dtype)
                 grad[index] = g
-            else:
-                np.add.at(grad, index, g)
+                return (grad,)
+            if row_gather and self._sparse_grad_ok(index.size, shape[0]):
+                return (RowSparseGrad.from_gather(
+                    index, g, shape, dtype, via_bincount=False),)
+            grad = np.zeros(shape, dtype=dtype)
+            np.add.at(grad, index, g)
             return (grad,)
 
         return self._make(data, (self,), backward)
@@ -522,27 +578,59 @@ class Tensor:
     def take_rows(self, indices) -> "Tensor":
         """Gather rows by integer index; the embedding-lookup primitive."""
         indices = np.asarray(indices, dtype=np.int64)
-        data = self.data[indices]
+        src = self._gather_source(indices)
+        data = src[indices]
+        shape, dtype = src.shape, src.dtype
 
         def backward(g):
-            if self.data.ndim == 2 and indices.ndim == 1 and (
+            if len(shape) == 2 and indices.ndim == 1 and (
                     not indices.size or indices.min() >= 0):
+                if self._sparse_grad_ok(indices.size, shape[0]):
+                    # O(batch) row-sparse gradient; the lazy optimizer
+                    # (or a sparse-aware route like axis-0 concat)
+                    # consumes it downstream.
+                    return (RowSparseGrad.from_gather(
+                        indices, g, shape, dtype, via_bincount=True),)
                 # Scatter-add via bincount: substantially faster than
                 # np.add.at, which dominates backward time otherwise.
+                # Same reduction kernel the sparse path coalesces with,
+                # which is what keeps the two representations bit-equal.
                 # (Negative indices fall through to np.add.at, which
                 # resolves them like the gather did.)
-                rows, cols = self.data.shape
-                flat_index = (indices[:, None] * cols
-                              + np.arange(cols)[None, :]).ravel()
-                grad = np.bincount(flat_index, weights=g.ravel(),
-                                   minlength=rows * cols)
-                return (grad.reshape(rows, cols).astype(
-                    self.data.dtype, copy=False),)
-            grad = np.zeros_like(self.data)
+                rows, cols = shape
+                grad = rowsparse._bincount_rows(indices, g, rows, cols)
+                return (grad.astype(dtype, copy=False),)
+            grad = np.zeros(shape, dtype=dtype)
             np.add.at(grad, indices, g)
             return (grad,)
 
         return self._make(data, (self,), backward)
+
+    def _gather_source(self, indices: np.ndarray) -> np.ndarray:
+        """Array to gather from; lazy parameters first materialize the
+        touched rows (and only those) — see :class:`_LazyParam`."""
+        return self.data
+
+    def _sparse_grad_ok(self, num_gathered: int, num_rows: int) -> bool:
+        """Whether a gather backward from this tensor should emit a
+        row-sparse gradient.
+
+        Only worthwhile when (a) something downstream consumes it
+        sparsely — a lazy optimizer managing this parameter, or a
+        sparse-aware route (axis-0 concat of embedding tables, as in
+        collaborative-KG node matrices); gathers from ordinary
+        intermediates (propagated embeddings, whose upstream closures
+        need dense arrays anyway) keep the direct dense scatter — and
+        (b) the gather actually touches a small fraction of the table:
+        on toy-sized tables the coalescing bookkeeping costs more than
+        the dense bincount it avoids, so small tables stay on the dense
+        kernel. Either representation is bit-identical; this only picks
+        the cheaper one.
+        """
+        return (num_gathered * 2 <= num_rows
+                and rowsparse.enabled()
+                and (self._lazy is not None
+                     or getattr(self._backward, "accepts_sparse", False)))
 
     # ------------------------------------------------------------------
     # norms
@@ -555,3 +643,109 @@ class Tensor:
     def normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
         """Return rows scaled to unit L2 norm (differentiable)."""
         return self / self.norm(axis=axis, keepdims=True, eps=eps)
+
+
+# ----------------------------------------------------------------------
+# lazy parameters (deferred row-sparse optimizer updates)
+# ----------------------------------------------------------------------
+#: raw slot descriptors, reachable even where ``_LazyParam`` shadows
+#: ``data`` with a property.
+_DATA_SLOT = Tensor.data
+_LAZY_SLOT = Tensor._lazy
+
+
+class _LazyParam(Tensor):
+    """A parameter whose optimizer defers updates to untouched rows.
+
+    Lazy optimizers (:class:`repro.autograd.optim.Adam` with row-sparse
+    gradients) swap a parameter's class to this subclass. Any read of
+    ``.data`` first replays every pending per-row update — so *every*
+    consumer (propagation, ``state_dict``, serving exports, numpy views)
+    observes exactly the values the dense optimizer schedule would have
+    produced. ``take_rows`` is the one fast path: it materializes only
+    the gathered rows, which is what keeps pure-gather models O(batch).
+
+    The subclass adds no slots, so the class swap is a pure behavior
+    change; ``release`` restores ``Tensor`` once the optimizer is done.
+    """
+
+    __slots__ = ()
+
+    @property
+    def data(self) -> np.ndarray:
+        states = _LAZY_SLOT.__get__(self)
+        if states:
+            for state in states:
+                state.sync_all()
+        return _DATA_SLOT.__get__(self)
+
+    @data.setter
+    def data(self, value) -> None:
+        states = _LAZY_SLOT.__get__(self)
+        if states:
+            # Materialize pending updates into the outgoing array first:
+            # it may be shared (views, checkpoints) and must leave in the
+            # exact dense-schedule state.
+            for state in states:
+                state.sync_all()
+        _DATA_SLOT.__set__(self, value)
+
+    def _rawdata(self) -> np.ndarray:
+        return _DATA_SLOT.__get__(self)
+
+    def _gather_source(self, indices: np.ndarray) -> np.ndarray:
+        states = _LAZY_SLOT.__get__(self)
+        if states:
+            if indices.ndim == 1 and (not indices.size
+                                      or indices.min() >= 0):
+                for state in states:
+                    state.sync_rows(indices)
+            else:
+                for state in states:
+                    state.sync_all()
+        return _DATA_SLOT.__get__(self)
+
+    # Metadata reads must not trigger a sync.
+    @property
+    def shape(self) -> tuple:
+        return _DATA_SLOT.__get__(self).shape
+
+    @property
+    def ndim(self) -> int:
+        return _DATA_SLOT.__get__(self).ndim
+
+    @property
+    def size(self) -> int:
+        return _DATA_SLOT.__get__(self).size
+
+    def __len__(self) -> int:
+        return len(_DATA_SLOT.__get__(self))
+
+
+def install_lazy_state(param: Tensor, state) -> bool:
+    """Register a deferred-update state on ``param``; returns False when
+    the parameter cannot be managed lazily (unexpected subclass)."""
+    if type(param) not in (Tensor, _LazyParam):
+        return False
+    states = _LAZY_SLOT.__get__(param)
+    if states is None:
+        states = []
+        _LAZY_SLOT.__set__(param, states)
+    # Arrival order is chronological deferral order: syncs replay states
+    # oldest-first, matching the dense schedule's interleaving.
+    states.append(state)
+    if type(param) is Tensor:
+        param.__class__ = _LazyParam
+    return True
+
+
+def release_lazy_state(param: Tensor, state) -> None:
+    """Flush and detach one optimizer's deferred-update state."""
+    state.sync_all()
+    states = _LAZY_SLOT.__get__(param)
+    if states and state in states:
+        states.remove(state)
+    if not states:
+        _LAZY_SLOT.__set__(param, None)
+        if type(param) is _LazyParam:
+            param.__class__ = Tensor

@@ -24,7 +24,12 @@ Commands
     Training-throughput benchmark (epochs/second) through the
     frozen-graph engine, comparing the precompiled (folded) schedule
     against the layer-by-layer fallback; optionally fails below a
-    throughput floor (the CI smoke gate).
+    throughput floor (the CI smoke gate). ``--sparse-compare`` instead
+    benchmarks the row-sparse gradient pipeline against the dense
+    schedule on the catalog-dominated synthetic fixture (optionally
+    enforcing ``--min-sparse-speedup``, the CI smoke gate for the
+    sparse pipeline), and ``--breakdown`` adds the per-phase
+    (sample/forward/backward/clip/step) training-step cost table.
 """
 
 from __future__ import annotations
@@ -218,7 +223,53 @@ def cmd_serve(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .analysis.timing import measure_training_throughput
+    from .analysis.timing import (breakdown_rows, catalog_dominated_dataset,
+                                  measure_sparse_training_throughput,
+                                  measure_step_breakdown,
+                                  measure_training_throughput)
+    def print_breakdowns(dataset) -> None:
+        if not args.breakdown:
+            return
+        for name in args.models:
+            print(format_table(
+                breakdown_rows(measure_step_breakdown(
+                    dataset, name, epochs=min(args.epochs, 4),
+                    batch_size=args.batch_size,
+                    learning_rate=args.learning_rate,
+                    embedding_dim=args.embedding_dim, seed=args.seed)),
+                title=f"{name}: per-phase training-step cost"))
+
+    if not args.sparse_compare and (args.min_sparse_speedup is not None
+                                    or args.fixture_scale != 1.0):
+        print("--min-sparse-speedup/--fixture-scale only apply with "
+              "--sparse-compare", file=sys.stderr)
+        return 2
+    if args.sparse_compare:
+        if args.min_throughput is not None:
+            print("--min-throughput applies to the engine benchmark; "
+                  "with --sparse-compare use --min-sparse-speedup",
+                  file=sys.stderr)
+            return 2
+        dataset = catalog_dominated_dataset(scale=args.fixture_scale,
+                                            seed=args.seed)
+        rows = measure_sparse_training_throughput(
+            dataset, model_names=tuple(args.models), epochs=args.epochs,
+            seed=args.seed, train_config=_train_config(args),
+            embedding_dim=args.embedding_dim)
+        print(format_table(
+            [row.as_row() for row in rows],
+            title="Row-sparse gradient pipeline vs dense schedule "
+                  f"on {dataset.name}"))
+        print_breakdowns(dataset)
+        worst = min(rows, key=lambda row: row.speedup)
+        if args.min_sparse_speedup is not None \
+                and worst.speedup < args.min_sparse_speedup:
+            print(f"FAIL: {worst.model} sparse pipeline is only "
+                  f"{worst.speedup:.2f}x the dense schedule, below the "
+                  f"--min-sparse-speedup floor of {args.min_sparse_speedup}",
+                  file=sys.stderr)
+            return 1
+        return 0
     dataset = _load_dataset(args.dataset, args.size)
     rows = measure_training_throughput(
         dataset, model_names=tuple(args.models), epochs=args.epochs,
@@ -226,6 +277,7 @@ def cmd_bench(args) -> int:
         embedding_dim=args.embedding_dim)
     print(format_table([row.as_row() for row in rows],
                        title=f"Training throughput on {dataset.name}"))
+    print_breakdowns(dataset)
     slowest = min(rows, key=lambda row: row.engine_epochs_per_second)
     if args.min_throughput is not None \
             and slowest.engine_epochs_per_second < args.min_throughput:
@@ -298,6 +350,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--min-throughput", type=float, default=None,
                          help="exit nonzero when any model trains slower "
                               "than this many epochs/second")
+    p_bench.add_argument("--sparse-compare", action="store_true",
+                         help="benchmark the row-sparse gradient pipeline "
+                              "against the dense schedule on the "
+                              "catalog-dominated synthetic fixture")
+    p_bench.add_argument("--min-sparse-speedup", type=float, default=None,
+                         help="with --sparse-compare: exit nonzero when "
+                              "the sparse/dense epochs-per-second ratio "
+                              "falls below this floor")
+    p_bench.add_argument("--fixture-scale", type=float, default=1.0,
+                         help="size multiplier for the catalog-dominated "
+                              "fixture (smaller is faster; CI uses 0.5)")
+    p_bench.add_argument("--breakdown", action="store_true",
+                         help="also print the per-phase "
+                              "(sample/forward/backward/clip/step) "
+                              "training-step cost, sparse vs dense")
     _add_common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
     return parser

@@ -93,6 +93,11 @@ def train_model(model, dataset: RecDataset,
             optimizer.step()
             epoch_loss += loss.item()
             num_batches += 1
+        # Epoch boundary: replay deferred row-sparse updates so auxiliary
+        # steps, evaluation, snapshots, and the scheduler's LR change all
+        # observe the exact dense-schedule parameter state (and the
+        # replay history stays one epoch deep).
+        optimizer.flush()
         model.extra_step()
         model.on_epoch_end(epoch)
         scheduler.step()
@@ -112,6 +117,9 @@ def train_model(model, dataset: RecDataset,
             if stopper.should_stop:
                 break
 
+    # Training is over: detach the lazy-update hooks so parameters go
+    # back to plain tensors (flushes any remaining deferred rows).
+    optimizer.release()
     if best_state is not None:
         model.load_state_dict(best_state)
     result.best_epoch = stopper.best_epoch

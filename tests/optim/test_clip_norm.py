@@ -1,0 +1,101 @@
+"""clip_grad_norm: row-ordered norm accumulation, sparse/dense parity.
+
+The norm is accumulated per row first, then over the full-length
+row-sum vector — the one order both a dense array and a row-sparse
+block can reproduce bit-for-bit (absent sparse rows contribute the same
+exact ``+0.0`` a zero dense row does). Dense 2-D gradients stream
+through bounded row chunks, never allocating a full-table ``grad ** 2``
+temporary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import optim
+from repro.autograd.optim import clip_grad_norm
+from repro.autograd.rowsparse import RowSparseGrad
+from repro.autograd.tensor import Tensor
+
+
+def make_param(shape, rng):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+def reference_norm(grads):
+    """The row-ordered specification, written naively."""
+    total = 0.0
+    for g in grads:
+        if g.ndim == 2:
+            row_sums = np.empty(g.shape[0], dtype=g.dtype)
+            for r in range(g.shape[0]):
+                row_sums[r] = (g[r] * g[r]).sum()
+            total += float(np.sum(row_sums))
+        else:
+            total += float((g ** 2).sum())
+    return float(np.sqrt(total))
+
+
+def test_sparse_and_dense_norms_bit_identical(rng):
+    shape = (60, 7)
+    rows = np.unique(rng.integers(0, shape[0], size=25)).astype(np.int64)
+    values = rng.normal(size=(len(rows), shape[1]))
+    sparse = RowSparseGrad(rows, values.copy(), shape)
+
+    p_sparse = make_param(shape, np.random.default_rng(1))
+    p_dense = make_param(shape, np.random.default_rng(1))
+    p_sparse.grad = sparse
+    p_dense.grad = sparse.to_dense()
+
+    norm_sparse = clip_grad_norm([p_sparse], max_norm=np.inf)
+    norm_dense = clip_grad_norm([p_dense], max_norm=np.inf)
+    assert norm_sparse == norm_dense  # bitwise, not approximately
+
+
+def test_matches_row_ordered_reference(rng):
+    p2d = make_param((33, 5), rng)
+    p1d = make_param((9,), rng)
+    p2d.grad = rng.normal(size=(33, 5))
+    p1d.grad = rng.normal(size=(9,))
+    got = clip_grad_norm([p2d, p1d], max_norm=np.inf)
+    assert got == reference_norm([p2d.grad, p1d.grad])
+
+
+def test_chunked_accumulation_equals_single_block(rng):
+    # More rows than the chunk size: the streamed accumulation must be
+    # bit-identical to one-shot row sums (it is the same per-row
+    # reduction, just bounded temporaries).
+    num_rows = optim._CLIP_CHUNK * 2 + 37
+    grad = rng.normal(size=(num_rows, 3))
+    p = make_param((num_rows, 3), np.random.default_rng(2))
+    p.grad = grad.copy()
+    got = clip_grad_norm([p], max_norm=np.inf)
+    row_sums = (grad * grad).sum(axis=1)
+    assert got == float(np.sqrt(float(np.sum(row_sums))))
+
+
+def test_clipping_scales_sparse_and_dense_identically(rng):
+    shape = (40, 4)
+    rows = np.unique(rng.integers(0, shape[0], size=20)).astype(np.int64)
+    values = rng.normal(size=(len(rows), shape[1])) * 100.0
+    sparse = RowSparseGrad(rows, values.copy(), shape)
+
+    p_sparse = make_param(shape, np.random.default_rng(1))
+    p_dense = make_param(shape, np.random.default_rng(1))
+    p_sparse.grad = sparse
+    p_dense.grad = sparse.to_dense()
+
+    pre_sparse = clip_grad_norm([p_sparse], max_norm=1.0)
+    pre_dense = clip_grad_norm([p_dense], max_norm=1.0)
+    assert pre_sparse == pre_dense
+    assert pre_sparse > 1.0
+    np.testing.assert_array_equal(p_sparse.grad.to_dense(), p_dense.grad)
+    np.testing.assert_allclose(
+        np.sqrt((p_dense.grad ** 2).sum()), 1.0, atol=1e-9)
+
+
+def test_small_gradients_left_untouched(rng):
+    p = make_param((10, 3), rng)
+    p.grad = np.full((10, 3), 0.01)
+    clip_grad_norm([p], max_norm=1.0)
+    np.testing.assert_array_equal(p.grad, np.full((10, 3), 0.01))

@@ -1,0 +1,98 @@
+"""SGD gets the same row-sparse/lazy treatment as Adam.
+
+Without momentum a zero-gradient row is an exact no-op, so sparse steps
+need no replay; with momentum the velocity decay (``vel *= mu``) keeps
+moving parameters and must be replayed per missed step. Either way the
+sparse and dense schedules must be bit-identical — the two optimizers
+may not silently diverge in semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import SGD
+from repro.autograd.rowsparse import RowSparseGrad
+from repro.autograd.tensor import Tensor, _LazyParam
+
+SHAPE = (20, 5)
+
+
+def sparse_grad(rows, seed):
+    rows = np.asarray(rows, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    return RowSparseGrad(rows, rng.normal(size=(len(rows), SHAPE[1])),
+                         SHAPE)
+
+
+def run_pair(schedule, **kwargs):
+    init = np.random.default_rng(7).normal(size=SHAPE)
+    lazy_p = Tensor(init.copy(), requires_grad=True)
+    dense_p = Tensor(init.copy(), requires_grad=True)
+    lazy_opt = SGD([lazy_p], sparse=True, **kwargs)
+    dense_opt = SGD([dense_p], sparse=False, **kwargs)
+    for step, rows in enumerate(schedule):
+        if rows is None:
+            lazy_p.grad = dense_p.grad = None
+        else:
+            g = sparse_grad(rows, 100 + step)
+            lazy_p.grad = g
+            dense_p.grad = g.to_dense()
+        lazy_opt.step()
+        dense_opt.step()
+    lazy_opt.flush()
+    return lazy_p, dense_p, lazy_opt, dense_opt
+
+
+SCHEDULE = [[0, 3], [3, 4], None, [4], [0, 1, 3, 4], [2]]
+
+
+def test_plain_sgd_sparse_matches_dense():
+    lazy_p, dense_p, *_ = run_pair(SCHEDULE, lr=0.1)
+    np.testing.assert_array_equal(lazy_p.data, dense_p.data)
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_momentum_staleness_replay(k):
+    # Row 0 idles for k steps while its velocity keeps decaying in the
+    # dense schedule; the lazy replay must reproduce that drift exactly.
+    schedule = [[0, 1]] + [[1, 2]] * k + [[0]]
+    lazy_p, dense_p, lazy_opt, dense_opt = run_pair(schedule, lr=0.05,
+                                                    momentum=0.9)
+    np.testing.assert_array_equal(lazy_p.data, dense_p.data)
+    np.testing.assert_array_equal(lazy_opt._velocity[0],
+                                  dense_opt._velocity[0])
+
+
+def test_momentum_full_schedule():
+    lazy_p, dense_p, lazy_opt, dense_opt = run_pair(SCHEDULE, lr=0.05,
+                                                    momentum=0.9)
+    np.testing.assert_array_equal(lazy_p.data, dense_p.data)
+    np.testing.assert_array_equal(lazy_opt._velocity[0],
+                                  dense_opt._velocity[0])
+
+
+def test_weight_decay_forces_dense_schedule():
+    p = Tensor(np.random.default_rng(0).normal(size=SHAPE),
+               requires_grad=True)
+    opt = SGD([p], lr=0.1, momentum=0.9, weight_decay=1e-3)
+    assert type(p) is Tensor  # lazy hook refused: exactness unproven
+    ref = Tensor(p.data.copy(), requires_grad=True)
+    ref_opt = SGD([ref], lr=0.1, momentum=0.9, weight_decay=1e-3,
+                  sparse=False)
+    g = sparse_grad([1, 2], 5)
+    p.grad = g
+    ref.grad = g.to_dense()
+    opt.step()
+    ref_opt.step()
+    np.testing.assert_array_equal(p.data, ref.data)
+
+
+def test_lazy_hook_installed_only_when_eligible():
+    p = Tensor(np.random.default_rng(0).normal(size=SHAPE),
+               requires_grad=True)
+    bias = Tensor(np.zeros(5), requires_grad=True)
+    SGD([p, bias], lr=0.1, sparse=True)
+    assert isinstance(p, _LazyParam)
+    assert type(bias) is Tensor  # 1-D params stay eager
