@@ -25,6 +25,7 @@ before the row-sparse pipeline landed.
 from _shared import get_dataset, get_trained_model, write_result
 from repro.analysis.timing import (breakdown_rows, catalog_dominated_dataset,
                                    measure_feature_sets,
+                                   measure_forward_throughput,
                                    measure_ranking_throughput,
                                    measure_sparse_training_throughput,
                                    measure_step_breakdown,
@@ -44,6 +45,17 @@ SEED_EPOCHS_PER_SECOND = {
     "LightGCN (3 layers)": 61.6,
     "KGAT": 1.17,
     "Firzen": 1.59,
+}
+
+#: epochs/second recorded by the PR 3 run of this harness (commit
+#: 792e98f, "Training addendum" engine column: 8 epochs, best of 3
+#: repeats) — the before/after record of the PR 4 fused
+#: relation-batched attention kernels and forward memo. The forward
+#: addendum below measures with the same epochs/repeats so the column
+#: is apples-to-apples; same machine, same noise caveats.
+PR3_EPOCHS_PER_SECOND = {
+    "KGAT": 1.67,
+    "Firzen": 2.28,
 }
 
 
@@ -88,6 +100,22 @@ def test_table7_timing(benchmark):
     breakdown = measure_step_breakdown(catalog, "BPR", epochs=4,
                                        embedding_dim=64)
 
+    forward_rows = measure_forward_throughput(
+        dataset, model_names=("Firzen", "KGAT"), epochs=8, repeats=3)
+    forward_table = []
+    for row in forward_rows:
+        cells = row.as_row()
+        pr3_eps = PR3_EPOCHS_PER_SECOND.get(row.model)
+        cells["PR3 (epochs/s)"] = pr3_eps
+        cells["Speedup vs PR3"] = (
+            round(row.fast_epochs_per_second / pr3_eps, 2)
+            if pr3_eps else None)
+        forward_table.append(cells)
+    hetero_breakdowns = []
+    for name in ("Firzen", "KGAT"):
+        hetero_breakdowns += breakdown_rows(
+            measure_step_breakdown(dataset, name, epochs=3))
+
     write_result(
         "table7_timing.txt",
         format_table(table, "Table VII: training/inference time") + "\n\n"
@@ -108,8 +136,24 @@ def test_table7_timing(benchmark):
         + format_table(breakdown_rows(breakdown),
                        "Optimizer/gradient addendum: per-phase "
                        "training-step cost on the catalog-dominated "
-                       "fixture (step includes the epoch-boundary "
-                       "flush of deferred row updates)"))
+                       "fixture (step includes every replay of "
+                       "deferred row updates, wherever triggered)")
+        + "\n\n"
+        + format_table(forward_table,
+                       "Forward addendum: fused relation-batched "
+                       "attention + forward memo vs the legacy "
+                       "per-relation forward path (beauty/small; all "
+                       "modes train bit-identical models — the fused "
+                       "kernels replay the exact legacy FP sequence, "
+                       "so the gain is dispatch/allocation only and "
+                       "the single-core float64 kernel floor bounds "
+                       "it; PR3 column: commit 792e98f snapshot)")
+        + "\n\n"
+        + format_table(hetero_breakdowns,
+                       "Forward addendum: per-phase training-step "
+                       "cost of the heterogeneous models "
+                       "(beauty/small; extra = discriminator + "
+                       "TransR per-epoch phases, amortized per step)"))
 
     # Engine and layer-by-layer schedules both train; their throughput
     # must be real (positive) and the engine path must not collapse.
@@ -128,6 +172,22 @@ def test_table7_timing(benchmark):
     assert sparse_bd.step_ms < dense_bd.step_ms
     assert sparse_bd.backward_ms < dense_bd.backward_ms
     assert sparse_bd.clip_ms < dense_bd.clip_ms
+    # PR 3's forward-phase regression is closed: with replay attributed
+    # to the step phase (where that work logically belongs), the sparse
+    # forward is no slower than the dense forward — the reference
+    # machine records ~1.3x faster; 1.05 is the noise-tolerant floor
+    # (same convention as the 1.5 floor on the ~2.3x sparse speedup).
+    assert sparse_bd.forward_ms <= 1.05 * dense_bd.forward_ms
+
+    # The fused relation-batched kernels + memo must never regress
+    # below the legacy per-relation path (both train bit-identical
+    # models, so this is pure representation cost; the measured gain
+    # is ~1.05-1.15x on this single-core machine and noise is +-40%,
+    # hence a no-regression floor rather than a gain floor).
+    for row in forward_rows:
+        assert row.fast_epochs_per_second > 0
+        assert row.legacy_epochs_per_second > 0
+        assert row.speedup >= 0.85
 
     # The batched serving path must beat the seed's one-query-at-a-time
     # serving by a wide margin on a production-sized batch — on the

@@ -1,0 +1,143 @@
+"""Parameter-versioned forward-reuse memo (the step-scoped forward cache).
+
+Training alternates several consumers over the same frozen-graph
+forwards: the BPR loss, the discriminator's detached re-forward, the
+per-KG-batch ``node_matrix()`` assembly, and the evaluation
+representations. Each of those recomputes a subgraph whose inputs are a
+handful of parameter tensors — and whenever *none* of those parameters
+changed since the last computation, the previous output arrays are
+exactly what the recomputation would produce.
+
+This module makes that reuse safe and automatic:
+
+* every :class:`~repro.autograd.tensor.Tensor` carries a version
+  counter, bumped by optimizer writes (``Optimizer._step_params``,
+  including deferred lazy-row schedules, which count at step time) and
+  ``load_state_dict``;
+* a :class:`ForwardMemo` entry records the exact dependency tensors and
+  their versions; a lookup is a hit only when every dependency is the
+  same object at the same version, the owning module's structure
+  generation is unchanged (graph rebinds bump it), and the extra key
+  (train/eval mode, active modalities, ...) matches;
+* RNG-consuming computations may pass their generator: the entry
+  records the stream state before and after the draw. A hit then
+  additionally requires the current state to equal the recorded *pre*
+  state — in that case the uncached path would draw the exact same
+  numbers — and replays the draw by fast-forwarding the generator to
+  the recorded *post* state, keeping RNG streams and trained models
+  bit-identical to the uncached path. Note the structural corollary:
+  a draw *advances* the stream, so two consecutive RNG-consuming
+  forwards can never share a pre-state — which is why the shipped
+  modality-dropout encoder skips the lookup outright while training
+  (see ``ModalityEncoder.forward``) and this keying exists for
+  consumers that legitimately rewind or checkpoint generator state.
+
+``REPRO_FORWARD_CACHE=0`` disables lookups entirely (every call
+recomputes), mirroring ``REPRO_ENGINE_FOLD`` / ``REPRO_SPARSE_GRAD`` /
+``REPRO_BATCHED_ATTENTION``. The parity suite
+(``tests/test_forward_reuse.py``) pins cache-on == cache-off down to
+trained parameter bits and RNG stream positions.
+
+A note on honesty: under the default training schedule the main
+optimizer touches every encoder parameter every step, so steady-state
+training sees few hits — the cache pays off in repeated-inference
+windows (serving refreshes, evaluation sweeps, ablation forwards) and
+in any configuration that freezes part of the model. The step
+breakdown in ``repro bench --breakdown`` reports the measured hit
+counts so nobody has to guess.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def enabled() -> bool:
+    """Whether forward memo lookups are active (checked per call)."""
+    return os.environ.get("REPRO_FORWARD_CACHE", "1") != "0"
+
+
+def _rng_token(rng: np.random.Generator):
+    """Hashable fingerprint of a generator's exact stream position."""
+    state = rng.bit_generator.state
+    inner = state.get("state", {})
+    if isinstance(inner, dict):
+        inner = tuple(sorted(
+            (key, value if np.isscalar(value) else tuple(np.ravel(value)))
+            for key, value in inner.items()))
+    return (state.get("bit_generator"), inner,
+            state.get("has_uint32"), state.get("uinteger"))
+
+
+class _Entry:
+    __slots__ = ("deps", "versions", "extra", "rng_pre", "rng_post",
+                 "generation", "value")
+
+    def __init__(self, deps, versions, extra, rng_pre, rng_post,
+                 generation, value):
+        self.deps = deps
+        self.versions = versions
+        self.extra = extra
+        self.rng_pre = rng_pre
+        self.rng_post = rng_post
+        self.generation = generation
+        self.value = value
+
+
+class ForwardMemo:
+    """Version-validated memo for one module's forward computations."""
+
+    #: process-wide counters, read by the timing harness.
+    hits = 0
+    misses = 0
+
+    def __init__(self):
+        self._entries: dict[str, _Entry] = {}
+        self.generation = 0
+
+    def bump(self) -> None:
+        """Invalidate everything — frozen structure changed (rebind,
+        ``adapt_to_interactions``) or an untracked mutation may have
+        happened (explicit ``model.invalidate()``)."""
+        self.generation += 1
+        self._entries.clear()
+
+    def cached(self, key: str, deps: list, compute, rng=None,
+               extra_key=()):
+        """Return ``compute()``'s result, reusing the previous one when
+        no dependency changed (and the RNG sits at the recorded
+        position, which the hit then fast-forwards)."""
+        if not enabled():
+            return compute()
+        entry = self._entries.get(key)
+        versions = [d._version for d in deps]
+        rng_pre = _rng_token(rng) if rng is not None else None
+        if (entry is not None
+                and entry.generation == self.generation
+                and entry.extra == extra_key
+                and len(entry.deps) == len(deps)
+                and all(a is b for a, b in zip(entry.deps, deps))
+                and entry.versions == versions
+                and entry.rng_pre == rng_pre):
+            if rng is not None:
+                # Replay the recorded draw: advance the stream to the
+                # exact position the uncached computation would leave.
+                rng.bit_generator.state = entry.rng_post
+            ForwardMemo.hits += 1
+            return entry.value
+        ForwardMemo.misses += 1
+        value = compute()
+        rng_post = rng.bit_generator.state if rng is not None else None
+        self._entries[key] = _Entry(list(deps), versions, extra_key,
+                                    rng_pre, rng_post, self.generation,
+                                    value)
+        return value
+
+    @classmethod
+    def reset_stats(cls) -> tuple[int, int]:
+        previous = (cls.hits, cls.misses)
+        cls.hits = 0
+        cls.misses = 0
+        return previous

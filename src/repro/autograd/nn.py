@@ -66,6 +66,14 @@ class Module:
         named = self.named_parameters()
         for name, value in state.items():
             if name not in named:
+                # Legacy checkpoints stored today's stacked per-relation
+                # projections as separate ``name[i]`` entries; fold each
+                # block into the stacked parameter it became.
+                target, index = _stacked_block_target(named, name, value)
+                if target is not None:
+                    target.data[index][...] = value
+                    target.bump_version()
+                    continue
                 raise KeyError(f"unknown parameter {name!r}")
             if named[name].data.shape != value.shape:
                 raise ValueError(
@@ -73,6 +81,50 @@ class Module:
                     f"{named[name].data.shape} vs {value.shape}"
                 )
             named[name].data[...] = value
+            named[name].bump_version()
+
+    # -- forward-reuse memo (repro.autograd.forward_cache) -------------
+    def memoized(self, key: str, deps: list, compute, rng=None,
+                 extra_key=()):
+        """Run ``compute`` through this module's forward memo: reuse the
+        previous result while no dependency tensor changed (see
+        :class:`repro.autograd.forward_cache.ForwardMemo`)."""
+        from .forward_cache import ForwardMemo
+        memo = self.__dict__.get("_forward_memo")
+        if memo is None:
+            memo = self._forward_memo = ForwardMemo()
+        return memo.cached(key, deps, compute, rng=rng,
+                           extra_key=extra_key)
+
+    def bump_memos(self) -> None:
+        """Invalidate the forward memos of this module and every
+        submodule (frozen structure changed, or an untracked in-place
+        mutation may have occurred)."""
+        memo = self.__dict__.get("_forward_memo")
+        if memo is not None:
+            memo.bump()
+        for value in self.__dict__.values():
+            for module in _collect_modules(value):
+                module.bump_memos()
+
+
+def _stacked_block_target(named: dict, name: str, value):
+    """Resolve a legacy ``base[i]`` state key against a parameter that
+    is now one stacked tensor named ``base`` (one leading block axis).
+    Returns ``(tensor, index)`` or ``(None, None)``."""
+    if not name.endswith("]"):
+        return None, None
+    base, _, index_part = name[:-1].rpartition("[")
+    if not base or not index_part.isdigit():
+        return None, None
+    target = named.get(base)
+    index = int(index_part)
+    if (target is not None
+            and target.data.ndim == np.ndim(value) + 1
+            and index < target.data.shape[0]
+            and target.data.shape[1:] == np.shape(value)):
+        return target, index
+    return None, None
 
 
 def _collect(value, seen: set[int]) -> list[Tensor]:

@@ -28,6 +28,8 @@ schedule (sparse gradients are densified on arrival).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from . import rowsparse
@@ -37,6 +39,13 @@ from .tensor import Tensor, install_lazy_state, release_lazy_state
 #: row-block size for gradient-norm accumulation (bounds temporaries to
 #: ``_CLIP_CHUNK x dim`` instead of the full table).
 _CLIP_CHUNK = 4096
+
+#: wall-clock seconds spent replaying deferred per-row updates, across
+#: every optimizer in the process. Replay is *optimizer-step work* the
+#: lazy schedule moved to read time (forward gathers, flushes); the
+#: step-breakdown harness reads this to attribute it to the step phase
+#: instead of whichever phase happened to trigger the read.
+REPLAY_SECONDS = 0.0
 
 
 class _LazyRowState:
@@ -69,9 +78,32 @@ class _LazyRowState:
 
     # -- read-side synchronization (called via _LazyParam) --------------
     def sync_rows(self, rows: np.ndarray) -> None:
-        """Replay pending updates for ``rows`` only (gather fast path)."""
-        if self.dirty:
-            self._catch_up(np.unique(rows))
+        """Replay pending updates for ``rows`` only (gather fast path).
+
+        This is the forward hot path of every gather from a
+        sparse-tracked table, so it does the minimum provably-needed
+        work (PR 3 paid an ``np.unique`` plus full pending bookkeeping
+        per gather here — the forward-phase regression):
+
+        * rows never touched by a gradient replay as exact no-ops, so
+          they are skipped without even advancing their counters — the
+          next flush or touching step settles the bookkeeping;
+        * ``rows`` may contain duplicates: the replay kernels are
+          gather-modify-scatter (each copy computes the same value from
+          the pre-replay state, and the scatter collapses them), so no
+          dedup pass is needed.
+        """
+        if not self.dirty:
+            return
+        if not self.opt._has_idle_updates():
+            # Every missed step is an exact no-op for every row (no
+            # moment decay without idle updates).
+            return
+        self._refresh_touched()
+        stale = rows[self.touched[rows]]
+        stale = stale[self.applied[stale] < len(self.history)]
+        if stale.size:
+            self._replay(stale)
 
     def sync_all(self) -> None:
         """Replay every pending update; resets the step history."""
@@ -94,21 +126,29 @@ class _LazyRowState:
             self._refresh_touched()
             stale = pending[self.touched[pending]]
             if stale.size:
-                behind = self.applied[stale]
-                # Sort by staleness: rows needing step j are then a
-                # prefix slice (no per-step boolean masks). Sequential
-                # over missed steps, vectorized over rows — each
-                # (row, step) pair replays exactly once, with the bias
-                # corrections / learning rate of that step.
-                order = np.argsort(behind, kind="stable")
-                stale = stale[order]
-                behind = behind[order]
-                bounds = np.searchsorted(behind, np.arange(
-                    int(behind[0]), k), side="right")
-                for j, hi in zip(range(int(behind[0]), k), bounds):
-                    step, lr = self.history[j]
-                    self.opt._idle_kernel(self, stale[:hi], step, lr)
+                self._replay(stale)
         self.applied[pending] = k
+
+    def _replay(self, stale: np.ndarray) -> None:
+        """Replay each (row, missed step) pair exactly once, with the
+        bias corrections / learning rate of that step."""
+        global REPLAY_SECONDS
+        clock_start = time.perf_counter()
+        k = len(self.history)
+        behind = self.applied[stale]
+        # Sort by staleness: rows needing step j are then a prefix
+        # slice (no per-step boolean masks). Sequential over missed
+        # steps, vectorized over rows.
+        order = np.argsort(behind, kind="stable")
+        stale = stale[order]
+        behind = behind[order]
+        bounds = np.searchsorted(behind, np.arange(
+            int(behind[0]), k), side="right")
+        for j, hi in zip(range(int(behind[0]), k), bounds):
+            step, lr = self.history[j]
+            self.opt._idle_kernel(self, stale[:hi], step, lr)
+        self.applied[stale] = k
+        REPLAY_SECONDS += time.perf_counter() - clock_start
 
     def _refresh_touched(self) -> None:
         if self._touched_stale:
@@ -213,6 +253,10 @@ class Optimizer:
             grad = p.grad
             if grad is None:
                 continue
+            # The logical value changes now even when row updates are
+            # deferred — any read replays them first — so the forward
+            # memo keys on step time.
+            p._version += 1
             state = self._states[i] if i < len(self._states) else None
             if isinstance(grad, RowSparseGrad):
                 if state is not None:
@@ -401,7 +445,11 @@ def _grad_sq_sum(grad) -> float:
         if len(grad.rows):
             row_sums[grad.rows] = (grad.values * grad.values).sum(axis=1)
         return float(np.sum(row_sums))
-    if grad.ndim == 2:
+    if grad.ndim >= 2:
+        # >=3-D gradients (the stacked per-relation projections) flatten
+        # to rows of the last axis: same bounded temporaries, same
+        # row-ordered accumulation spec as the 2-D case.
+        grad = grad.reshape(-1, grad.shape[-1])
         num_rows = grad.shape[0]
         row_sums = np.empty(num_rows, dtype=grad.dtype)
         for start in range(0, num_rows, _CLIP_CHUNK):

@@ -79,15 +79,23 @@ def row_softmax(adjacency: sp.spmatrix) -> sp.csr_matrix:
     Used for the user-user co-occurrence attention (paper eq. 19), where
     edge weights are co-interaction counts and attention is computed only
     over existing neighbors.
+
+    Vectorized by bucketing rows of equal nonzero count and running the
+    max/exp/normalize chain batched over each bucket's lanes — the
+    per-lane reductions are the same kernels the historical per-row
+    loop ran on each row slice, so the result is bit-identical to the
+    loop (``tests/autograd/test_sparse.py`` pins it).
     """
     matrix = adjacency.tocsr().astype(np.float64).copy()
-    for row in range(matrix.shape[0]):
-        start, end = matrix.indptr[row], matrix.indptr[row + 1]
-        if start == end:
+    lengths = np.diff(matrix.indptr)
+    for length in np.unique(lengths):
+        if length == 0:
             continue
-        vals = matrix.data[start:end]
-        vals = np.exp(vals - vals.max())
-        matrix.data[start:end] = vals / vals.sum()
+        bucket = np.flatnonzero(lengths == length)
+        lanes = matrix.indptr[bucket][:, None] + np.arange(length)
+        vals = matrix.data[lanes]
+        vals = np.exp(vals - vals.max(axis=1, keepdims=True))
+        matrix.data[lanes] = vals / vals.sum(axis=1, keepdims=True)
     return matrix
 
 

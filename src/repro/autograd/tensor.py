@@ -73,7 +73,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "name", "_lazy")
+                 "name", "_lazy", "_version")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data = _as_array(data)
@@ -85,6 +85,16 @@ class Tensor:
         #: deferred-update states installed by lazy optimizers (see
         #: :class:`_LazyParam`); ``None`` for ordinary tensors.
         self._lazy = None
+        #: logical-state counter for the forward-reuse memo
+        #: (:mod:`repro.autograd.forward_cache`). Bumped by optimizer
+        #: writes — at *step* time for deferred lazy-row schedules, since
+        #: any read replays them — and by ``load_state_dict``.
+        self._version = 0
+
+    def bump_version(self) -> None:
+        """Mark the tensor's value as logically changed (cache keys on
+        this; in-place mutations outside the optimizer should call it)."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -150,6 +160,12 @@ class Tensor:
 
     def _accumulate(self, grad) -> None:
         if not self.requires_grad:
+            return
+        if isinstance(grad, rowsparse.GradParts):
+            # Fused-kernel partials land one by one, in order — the
+            # same left-fold the replaced nodes would have produced.
+            for part in grad.parts:
+                self._accumulate(part)
             return
         if isinstance(grad, RowSparseGrad):
             # Sparse gradients are only kept sparse for parameters a lazy
@@ -235,7 +251,7 @@ class Tensor:
                     grads[id(parent)] = rowsparse.grad_sum(
                         grads[id(parent)], pgrad)
                 else:
-                    grads[id(parent)] = pgrad
+                    grads[id(parent)] = rowsparse.first_arrival(pgrad)
 
     # ------------------------------------------------------------------
     # elementwise arithmetic

@@ -30,13 +30,13 @@ def _extend_kg_with_modalities(kg: KnowledgeGraph,
     num_items = kg.num_items
     base_entities = kg.num_entities
     base_relations = kg.num_relations
-    extra = []
-    for m in range(num_modalities):
-        node_base = base_entities + m * num_items
-        for item in range(num_items):
-            extra.append((item, base_relations + m, node_base + item))
-    triplets = np.concatenate(
-        [kg.triplets, np.asarray(extra, dtype=np.int64)])
+    items = np.arange(num_items, dtype=np.int64)
+    extra = [np.stack([items,
+                       np.full(num_items, base_relations + m,
+                               dtype=np.int64),
+                       base_entities + m * num_items + items], axis=1)
+             for m in range(num_modalities)]
+    triplets = np.concatenate([kg.triplets] + extra)
     return KnowledgeGraph(
         triplets=triplets,
         num_entities=base_entities + num_modalities * num_items,
@@ -98,6 +98,14 @@ class MKGATModel(Recommender):
     def _node_matrix(self) -> Tensor:
         """Assemble the full CKG node matrix in id order:
         [kg entities][modality nodes][users]."""
+        return self.memoized(
+            "node_matrix",
+            [self.node_emb.weight]
+            + [p for m in self.modalities
+               for p in self.projectors[m].parameters()],
+            self._assemble_nodes)
+
+    def _assemble_nodes(self) -> Tensor:
         base = self.node_emb.weight[:self._base_entities]
         modal_parts = [self.projectors[m](self._features[m])
                        for m in self.modalities]
@@ -105,6 +113,12 @@ class MKGATModel(Recommender):
         return concat([base] + modal_parts + [users], axis=0)
 
     def _forward(self) -> Tensor:
+        return self.memoized(
+            "forward", self.parameters(), self._propagate,
+            extra_key=tuple(layer._plan.seq
+                            for layer in self.attention_layers))
+
+    def _propagate(self) -> Tensor:
         current = self._node_matrix()
         outputs = [current]
         for layer in self.attention_layers:

@@ -28,8 +28,14 @@ Commands
     benchmarks the row-sparse gradient pipeline against the dense
     schedule on the catalog-dominated synthetic fixture (optionally
     enforcing ``--min-sparse-speedup``, the CI smoke gate for the
-    sparse pipeline), and ``--breakdown`` adds the per-phase
-    (sample/forward/backward/clip/step) training-step cost table.
+    sparse pipeline). ``--forward-compare`` benchmarks the fused
+    relation-batched attention kernels plus the parameter-versioned
+    forward memo against the legacy per-relation forward path
+    (``REPRO_BATCHED_ATTENTION=0`` / ``REPRO_FORWARD_CACHE=0``), with
+    memo hit counts and an optional ``--min-forward-speedup`` floor
+    (the CI no-regression gate). ``--breakdown`` adds the per-phase
+    (sample/forward/backward/clip/step/extra) training-step cost table
+    for any model, heterogeneous ones included.
 """
 
 from __future__ import annotations
@@ -224,6 +230,7 @@ def cmd_serve(args) -> int:
 
 def cmd_bench(args) -> int:
     from .analysis.timing import (breakdown_rows, catalog_dominated_dataset,
+                                  measure_forward_throughput,
                                   measure_sparse_training_throughput,
                                   measure_step_breakdown,
                                   measure_training_throughput)
@@ -244,6 +251,34 @@ def cmd_bench(args) -> int:
         print("--min-sparse-speedup/--fixture-scale only apply with "
               "--sparse-compare", file=sys.stderr)
         return 2
+    if not args.forward_compare and args.min_forward_speedup is not None:
+        print("--min-forward-speedup only applies with --forward-compare",
+              file=sys.stderr)
+        return 2
+    if args.forward_compare:
+        if args.sparse_compare:
+            print("--forward-compare and --sparse-compare are separate "
+                  "benchmarks; pick one", file=sys.stderr)
+            return 2
+        dataset = _load_dataset(args.dataset, args.size)
+        rows = measure_forward_throughput(
+            dataset, model_names=tuple(args.models), epochs=args.epochs,
+            seed=args.seed, train_config=_train_config(args),
+            embedding_dim=args.embedding_dim)
+        print(format_table(
+            [row.as_row() for row in rows],
+            title="Fused attention + forward memo vs legacy forward "
+                  f"path on {dataset.name} (bit-identical models)"))
+        print_breakdowns(dataset)
+        worst = min(rows, key=lambda row: row.speedup)
+        if args.min_forward_speedup is not None \
+                and worst.speedup < args.min_forward_speedup:
+            print(f"FAIL: {worst.model} fused forward path is only "
+                  f"{worst.speedup:.2f}x the legacy loop, below the "
+                  f"--min-forward-speedup floor of "
+                  f"{args.min_forward_speedup}", file=sys.stderr)
+            return 1
+        return 0
     if args.sparse_compare:
         if args.min_throughput is not None:
             print("--min-throughput applies to the engine benchmark; "
@@ -361,6 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--fixture-scale", type=float, default=1.0,
                          help="size multiplier for the catalog-dominated "
                               "fixture (smaller is faster; CI uses 0.5)")
+    p_bench.add_argument("--forward-compare", action="store_true",
+                         help="benchmark the fused relation-batched "
+                              "attention kernels + forward memo against "
+                              "the legacy per-relation forward path "
+                              "(REPRO_BATCHED_ATTENTION=0)")
+    p_bench.add_argument("--min-forward-speedup", type=float, default=None,
+                         help="with --forward-compare: exit nonzero when "
+                              "the fused/legacy epochs-per-second ratio "
+                              "falls below this floor")
     p_bench.add_argument("--breakdown", action="store_true",
                          help="also print the per-phase "
                               "(sample/forward/backward/clip/step) "

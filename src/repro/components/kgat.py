@@ -8,6 +8,14 @@ collaborative KG. Attention logits are
 softmaxed over h's ego network (eq. 10), the neighborhood message is the
 attention-weighted sum of tail embeddings (eq. 9), and the output combines
 head and message through the bi-interaction aggregator (eq. 13).
+
+The per-relation work runs through the fused relation-batched kernel
+(:func:`repro.autograd.fused.attention_message`): one gather pair over a
+precomputed relation-sorted permutation of the triplets, block-sliced
+matmuls against the stacked ``(num_relations, dim, relation_dim)``
+projection tensor, and no per-forward concatenation — bit-identical to
+the legacy per-relation node graph, which ``REPRO_BATCHED_ATTENTION=0``
+restores (the parity suite pins the equivalence).
 """
 
 from __future__ import annotations
@@ -15,10 +23,25 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..autograd import fused
+from ..autograd.init import PARAM_DTYPE, xavier_uniform
 from ..autograd.nn import Module
-from ..autograd.init import xavier_uniform
 from ..graphs.ckg import CollaborativeKG
 from .segments import segment_operators, segment_softmax_weighted_sum
+
+
+def stacked_relation_projections(rng: np.random.Generator,
+                                 num_relations: int, dim: int,
+                                 relation_dim: int) -> Tensor:
+    """One stacked ``(num_relations, dim, relation_dim)`` parameter,
+    drawn relation-by-relation so the RNG stream and the initial values
+    match the historical list of separate per-relation parameters."""
+    if num_relations == 0:
+        return Tensor(np.zeros((0, dim, relation_dim), dtype=PARAM_DTYPE),
+                      requires_grad=True)
+    blocks = [xavier_uniform(rng, dim, relation_dim).data
+              for _ in range(num_relations)]
+    return Tensor(np.stack(blocks), requires_grad=True)
 
 
 class KnowledgeGraphAttention(Module):
@@ -32,10 +55,9 @@ class KnowledgeGraphAttention(Module):
         self.relation_dim = relation_dim
         self.relation_emb = xavier_uniform(rng, ckg.num_relations,
                                            relation_dim)
-        # One projection per relation (W_r). Stored as a list so each is a
-        # separately-updated parameter.
-        self.relation_proj = [xavier_uniform(rng, dim, relation_dim)
-                              for _ in range(ckg.num_relations)]
+        # Stacked W_r — block r is the projection of relation r.
+        self.relation_proj = stacked_relation_projections(
+            rng, ckg.num_relations, dim, relation_dim)
         self.w_sum = xavier_uniform(rng, dim, dim)
         self.w_prod = xavier_uniform(rng, dim, dim)
 
@@ -54,18 +76,34 @@ class KnowledgeGraphAttention(Module):
             mask = triplets[:, 1] == relation
             self._by_relation.append((
                 triplets[mask, 0].copy(), triplets[mask, 2].copy()))
-        # The segmentation over head entities is as frozen as the CKG
-        # itself: precompute the concatenated segment ids and the
+        # The relation-sorted layout is as frozen as the CKG itself:
+        # precompute the concatenated index arrays, per-relation slice
+        # bounds, scatter indices, the segment-max sort, and the
         # indicator-operator pair once instead of per forward call.
-        heads_concat = [heads for heads, _ in self._by_relation
-                        if len(heads)]
-        self._segments = (np.concatenate(heads_concat) if heads_concat
-                          else np.empty(0, dtype=np.int64))
+        self._plan = fused.RelationPlan(self._by_relation, ckg.num_nodes,
+                                        self.dim)
+        self._segments = self._plan.segments
         self._segment_ops = segment_operators(self._segments,
                                               ckg.num_nodes)
 
     def forward(self, node_emb: Tensor) -> Tensor:
         """Aggregate one attention hop; input/output are (num_nodes, dim)."""
+        if fused.batched_enabled():
+            neighborhood = fused.attention_message(
+                node_emb, self.relation_proj, self.relation_emb,
+                self._plan, self._segment_ops)
+        else:
+            neighborhood = self._legacy_neighborhood(node_emb)
+
+        # Bi-interaction aggregator (eq. 13).
+        summed = (node_emb + neighborhood).matmul(self.w_sum).leaky_relu()
+        prod = (node_emb * neighborhood).matmul(self.w_prod).leaky_relu()
+        return summed + prod
+
+    def _legacy_neighborhood(self, node_emb: Tensor) -> Tensor:
+        """The historical per-relation node graph (one gather pair,
+        matmul pair, and logits chain per relation, then two concats).
+        Kept as the bit-parity reference for the fused kernel."""
         logits_parts: list[Tensor] = []
         tails_parts: list[Tensor] = []
         for relation, (heads, tails) in enumerate(self._by_relation):
@@ -84,11 +122,6 @@ class KnowledgeGraphAttention(Module):
         logits = concat(logits_parts, axis=0)
         tails = concat(tails_parts, axis=0)
 
-        neighborhood = segment_softmax_weighted_sum(
+        return segment_softmax_weighted_sum(
             logits, tails, self._segments, self.ckg.num_nodes,
             operators=self._segment_ops)
-
-        # Bi-interaction aggregator (eq. 13).
-        summed = (node_emb + neighborhood).matmul(self.w_sum).leaky_relu()
-        prod = (node_emb * neighborhood).matmul(self.w_prod).leaky_relu()
-        return summed + prod

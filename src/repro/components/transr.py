@@ -9,18 +9,31 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
-from ..autograd.nn import Module
+from ..autograd import fused
 from ..autograd.init import xavier_uniform
+from ..autograd.nn import Module
 
 
 class TransRScorer(Module):
     """Relation-specific projection + translation scorer over entity
-    embeddings supplied by the caller."""
+    embeddings supplied by the caller.
+
+    Scoring runs through the fused relation-batched kernel
+    (:func:`repro.autograd.fused.transr_scores`): a stable relation
+    sort, one gather pair, and block-sliced matmuls against the stacked
+    ``(num_relations, entity_dim, relation_dim)`` projection tensor —
+    bit-identical to the historical per-relation node graph, which
+    ``REPRO_BATCHED_ATTENTION=0`` restores.
+    """
 
     def __init__(self, num_relations: int, entity_dim: int,
                  relation_dim: int, rng: np.random.Generator):
         super().__init__()
         self.relation_emb = xavier_uniform(rng, num_relations, relation_dim)
+        # One projection per relation. Kept as separate parameters (not
+        # a stacked tensor): relations absent from a sampled KG batch
+        # get no gradient, and Adam's skip of grad-less parameters is
+        # part of the recorded training schedule.
         self.relation_proj = [xavier_uniform(rng, entity_dim, relation_dim)
                               for _ in range(num_relations)]
         self.num_relations = num_relations
@@ -29,6 +42,10 @@ class TransRScorer(Module):
               relations: np.ndarray, tails: np.ndarray) -> Tensor:
         """Batched triplet scores, grouped internally by relation."""
         relations = np.asarray(relations, dtype=np.int64)
+        if fused.batched_enabled():
+            return fused.transr_scores(
+                entity_emb, self.relation_proj, self.relation_emb,
+                heads, relations, tails)
         parts: list[tuple[np.ndarray, Tensor]] = []
         for relation in np.unique(relations):
             mask = np.flatnonzero(relations == relation)

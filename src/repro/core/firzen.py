@@ -217,16 +217,24 @@ class FirzenModel(Recommender):
             self.config.gumbel_temperature, self.config.aux_signal_weight,
             self._disc_rng)
 
+        # The virtual graphs are fixed for the whole discriminator
+        # phase (x_u / x_i are detached snapshots): compute each
+        # modality's normalized row block once instead of once per
+        # discriminator iteration plus once for the score recording.
+        virtual_rows = {}
+        for modality, (x_u, x_i, _) in modality_raw.items():
+            virtual = (x_u.data[users] @ x_i.data.T)
+            norms = (np.linalg.norm(x_u.data[users], axis=1,
+                                    keepdims=True)
+                     * np.linalg.norm(x_i.data, axis=1)[None, :])
+            virtual_rows[modality] = virtual / np.maximum(norms, 1e-12)
+
         for _ in range(self.config.discriminator_steps):
             self._disc_optimizer.zero_grad()
             loss = None
             real_rows = Tensor(augmented)
-            for modality, (x_u, x_i, _) in modality_raw.items():
-                virtual = (x_u.data[users] @ x_i.data.T)
-                norms = (np.linalg.norm(x_u.data[users], axis=1,
-                                        keepdims=True)
-                         * np.linalg.norm(x_i.data, axis=1)[None, :])
-                virtual = virtual / np.maximum(norms, 1e-12)
+            for modality in modality_raw:
+                virtual = virtual_rows[modality]
                 fake_rows = Tensor(virtual)
                 term = self.discriminator(fake_rows) \
                     - self.discriminator(real_rows)
@@ -240,13 +248,9 @@ class FirzenModel(Recommender):
             self._disc_optimizer.step()
 
         # Record post-update scores for the beta momentum rule.
-        for modality, (x_u, x_i, _) in modality_raw.items():
-            virtual = (x_u.data[users] @ x_i.data.T)
-            norms = (np.linalg.norm(x_u.data[users], axis=1, keepdims=True)
-                     * np.linalg.norm(x_i.data, axis=1)[None, :])
-            virtual = virtual / np.maximum(norms, 1e-12)
+        for modality in modality_raw:
             self._last_disc_scores[modality] = float(
-                self.discriminator(Tensor(virtual)).item())
+                self.discriminator(Tensor(virtual_rows[modality])).item())
 
     def on_epoch_end(self, epoch: int):
         if (self.config.use_modality and self.modalities

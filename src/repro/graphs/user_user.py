@@ -26,23 +26,54 @@ def cooccurrence_counts(user_item: sp.spmatrix) -> sp.csr_matrix:
 
 def topk_per_row(matrix: sp.csr_matrix, top_k: int) -> sp.csr_matrix:
     """Keep only the ``top_k`` largest entries in each row (eq. 4),
-    preserving their weights (co-interaction counts)."""
+    preserving their weights (co-interaction counts).
+
+    Vectorized by bucketing rows of equal length and running one
+    batched ``np.argpartition`` per bucket. A 2-D partition applies the
+    same introselect to each lane that the historical per-row loop
+    applied to that row's values, so the selected entries — including
+    which of several tied boundary values survive, which is what keeps
+    the frozen graphs (and everything trained on them) bit-identical —
+    match the loop exactly (``tests/graphs/test_user_user.py`` pins the
+    equivalence).
+    """
     matrix = matrix.tocsr()
-    rows, cols, vals = [], [], []
-    for row in range(matrix.shape[0]):
-        start, end = matrix.indptr[row], matrix.indptr[row + 1]
-        if start == end:
-            continue
-        row_vals = matrix.data[start:end]
-        row_cols = matrix.indices[start:end]
-        if len(row_vals) > top_k:
-            keep = np.argpartition(-row_vals, top_k - 1)[:top_k]
-        else:
-            keep = np.arange(len(row_vals))
-        rows.extend([row] * len(keep))
-        cols.extend(row_cols[keep].tolist())
-        vals.extend(row_vals[keep].tolist())
-    return sp.csr_matrix((vals, (rows, cols)), shape=matrix.shape)
+    lengths = np.diff(matrix.indptr)
+    rows_parts, cols_parts, vals_parts = [], [], []
+    # Rows that keep everything: one flat gather.
+    small = np.flatnonzero((lengths > 0) & (lengths <= top_k))
+    if small.size:
+        flat = _span_indices(matrix.indptr[small], lengths[small])
+        rows_parts.append(np.repeat(small, lengths[small]))
+        cols_parts.append(matrix.indices[flat])
+        vals_parts.append(matrix.data[flat])
+    # Rows that need selection, one batched argpartition per length.
+    big = np.flatnonzero(lengths > top_k)
+    for length in np.unique(lengths[big]):
+        bucket = big[lengths[big] == length]
+        lanes = matrix.indptr[bucket][:, None] + np.arange(length)
+        vals = matrix.data[lanes]
+        keep = np.argpartition(-vals, top_k - 1, axis=1)[:, :top_k]
+        picked = np.take_along_axis(lanes, keep, axis=1).ravel()
+        rows_parts.append(np.repeat(bucket, top_k))
+        cols_parts.append(matrix.indices[picked])
+        vals_parts.append(matrix.data[picked])
+    if not rows_parts:
+        return sp.csr_matrix(matrix.shape)
+    return sp.csr_matrix(
+        (np.concatenate(vals_parts),
+         (np.concatenate(rows_parts), np.concatenate(cols_parts))),
+        shape=matrix.shape)
+
+
+def _span_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start + length)`` spans."""
+    total = int(lengths.sum())
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
 
 
 class UserUserGraph:

@@ -1,0 +1,253 @@
+"""Bit-parity of the fused relation-batched kernels vs the legacy
+per-relation node graphs (``REPRO_BATCHED_ATTENTION=0``).
+
+Everything here asserts *exact* equality — same bits, not tolerances:
+the fused kernels replay the replaced graph's floating-point expression
+sequence and gradient arrival order, and the recorded benchmark tables
+depend on that staying true.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.optim import Adam, clip_grad_norm
+from repro.autograd.rowsparse import GradParts, RowSparseGrad, grad_sum
+from repro.baselines import create_model
+from repro.components.transr import TransRScorer, transr_loss
+from repro.data import load_amazon
+from repro.train.trainer import TrainConfig, train_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_amazon("beauty", size="tiny")
+
+
+class _Batched:
+    """Context manager forcing the fused kernels on or off."""
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+
+    def __enter__(self):
+        self.prev = os.environ.get("REPRO_BATCHED_ATTENTION")
+        os.environ["REPRO_BATCHED_ATTENTION"] = "1" if self.enabled else "0"
+
+    def __exit__(self, *exc):
+        if self.prev is None:
+            os.environ.pop("REPRO_BATCHED_ATTENTION", None)
+        else:
+            os.environ["REPRO_BATCHED_ATTENTION"] = self.prev
+
+
+class TestGradParts:
+    def test_parts_fold_sequentially_in_order(self):
+        rng = np.random.default_rng(0)
+        acc = rng.normal(size=(4, 3))
+        p1, p2, p3 = (rng.normal(size=(4, 3)) for _ in range(3))
+        folded = grad_sum(acc, GradParts([p1, p2, p3]))
+        assert np.array_equal(folded, ((acc + p1) + p2) + p3)
+
+    def test_parts_differ_from_presummed_total(self):
+        # The reason GradParts exists: left-fold != fold-of-partial-sums.
+        rng = np.random.default_rng(1)
+        acc = rng.normal(size=(64, 8)) * 1e10
+        p1 = rng.normal(size=(64, 8))
+        p2 = rng.normal(size=(64, 8)) * 1e-8
+        assert not np.array_equal((acc + p1) + p2, acc + (p1 + p2))
+
+    def test_accumulate_into_leaf(self):
+        t = Tensor(np.zeros((3, 2)), requires_grad=True)
+        a, b = np.ones((3, 2)), np.full((3, 2), 2.0)
+        t._accumulate(GradParts([a, b]))
+        assert np.array_equal(t.grad, a + b)
+
+    def test_sparse_parts_keep_representation(self):
+        rows = np.array([1, 3])
+        values = np.ones((2, 4))
+        part = RowSparseGrad(rows, values, (6, 4))
+        dense = np.zeros((6, 4))
+        out = grad_sum(dense, GradParts([part]))
+        expected = np.zeros((6, 4))
+        expected[rows] += values
+        assert np.array_equal(out, expected)
+
+
+class TestAttentionParity:
+    def _run(self, dataset, batched: bool):
+        with _Batched(batched):
+            model = create_model("KGAT", dataset, seed=0)
+            layer = model.attention_layers[0]
+            x = Tensor(np.random.default_rng(1).normal(
+                size=(model.ckg.num_nodes, 32)), requires_grad=True)
+            out = layer(x)
+            out.backward(np.ones_like(out.data))
+            return (out.data, x.grad, layer.relation_proj.grad,
+                    layer.relation_emb.grad, layer.w_sum.grad,
+                    layer.w_prod.grad)
+
+    def test_layer_forward_and_grads_bit_equal(self, dataset):
+        fused_out = self._run(dataset, True)
+        legacy_out = self._run(dataset, False)
+        for got, want in zip(fused_out, legacy_out):
+            assert np.array_equal(got, want)
+
+    def test_scratch_pool_recovers_after_unbackwarded_forward(self,
+                                                              dataset):
+        # An inference forward whose graph is discarded without a
+        # backward must not strand the plan's scratch buffers forever.
+        with _Batched(True):
+            model = create_model("KGAT", dataset, seed=0)
+            layer = model.attention_layers[0]
+            plan = layer._plan
+            x = Tensor(np.random.default_rng(1).normal(
+                size=(model.ckg.num_nodes, 32)), requires_grad=True)
+            layer(x)                     # never backwarded
+            out = layer(x)               # allocates + repools a set
+            out.backward(np.ones_like(out.data))
+            assert plan._scratch_free    # back in the pool
+            pooled = plan._scratch
+            out2 = layer(x)
+            out2.backward(np.ones_like(out2.data))
+            assert plan._scratch is pooled   # reuse resumed
+
+    def test_trained_kgat_bit_equal(self, dataset):
+        states = []
+        for batched in (True, False):
+            with _Batched(batched):
+                model = create_model("KGAT", dataset, seed=0)
+                train_model(model, dataset,
+                            TrainConfig(epochs=2, eval_every=3, seed=0))
+                states.append(model.state_dict())
+        assert states[0].keys() == states[1].keys()
+        for key in states[0]:
+            assert np.array_equal(states[0][key], states[1][key]), key
+
+    def test_legacy_split_projection_checkpoint_loads(self, dataset):
+        # Checkpoints from before the stacked parameter stored one
+        # 'relation_proj[i]' entry per relation; they must keep loading.
+        model = create_model("KGAT", dataset, seed=0)
+        state = model.state_dict()
+        legacy = {}
+        for key, value in state.items():
+            if key.endswith(".relation_proj") and value.ndim == 3:
+                for i in range(value.shape[0]):
+                    legacy[f"{key}[{i}]"] = value[i] + 1.0
+            else:
+                legacy[key] = value
+        assert len(legacy) > len(state)
+        model.load_state_dict(legacy)
+        for key, value in state.items():
+            if key.endswith(".relation_proj") and value.ndim == 3:
+                loaded = model.named_parameters()[key].data
+                assert np.array_equal(loaded, value + 1.0)
+
+    def test_trained_firzen_bit_equal(self, dataset):
+        states = []
+        losses = []
+        for batched in (True, False):
+            with _Batched(batched):
+                model = create_model("Firzen", dataset, seed=0)
+                result = train_model(model, dataset,
+                                     TrainConfig(epochs=2, eval_every=3,
+                                                 seed=0))
+                states.append(model.state_dict())
+                losses.append(result.losses)
+        assert losses[0] == losses[1]
+        for key in states[0]:
+            assert np.array_equal(states[0][key], states[1][key]), key
+
+
+class TestTransRParity:
+    def _loss_grads(self, batched: bool, lazy: bool):
+        with _Batched(batched):
+            rng = np.random.default_rng(5)
+            scorer = TransRScorer(4, 8, 8, rng)
+            emb = Tensor(np.random.default_rng(7).normal(size=(600, 8)),
+                         requires_grad=True)
+            optimizer = Adam([emb] + scorer.parameters(), lr=0.01,
+                             sparse=lazy)
+            sampler = np.random.default_rng(9)
+            for _ in range(4):
+                heads = sampler.integers(0, 600, 64)
+                rels = sampler.integers(0, 4, 64)
+                pos = sampler.integers(0, 600, 64)
+                neg = sampler.integers(0, 600, 64)
+                optimizer.zero_grad()
+                loss = transr_loss(scorer, emb, heads, rels, pos, neg)
+                loss.backward()
+                clip_grad_norm(optimizer.params, 10.0)
+                optimizer.step()
+            optimizer.release()
+            return ([emb.data.copy()]
+                    + [w.data.copy() for w in scorer.relation_proj]
+                    + [scorer.relation_emb.data.copy()])
+
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_trained_transr_bit_equal(self, lazy):
+        fused_state = self._loss_grads(True, lazy)
+        legacy_state = self._loss_grads(False, lazy)
+        for got, want in zip(fused_state, legacy_state):
+            assert np.array_equal(got, want)
+
+    def test_scores_match_input_order(self, dataset):
+        # Forward values in input order, both paths.
+        with _Batched(True):
+            rng = np.random.default_rng(5)
+            scorer = TransRScorer(3, 8, 8, rng)
+            emb = Tensor(np.random.default_rng(7).normal(size=(40, 8)))
+            r = np.random.default_rng(11)
+            heads = r.integers(0, 40, 30)
+            rels = r.integers(0, 3, 30)
+            tails = r.integers(0, 40, 30)
+            fused_scores = scorer.score(emb, heads, rels, tails).data
+        with _Batched(False):
+            legacy_scores = scorer.score(emb, heads, rels, tails).data
+        assert np.array_equal(fused_scores, legacy_scores)
+
+    def test_distinct_entity_and_relation_dims(self):
+        # entity_dim != relation_dim: the entity gradient is
+        # entity_dim wide (regression: the fused backward once sized it
+        # with relation_dim and crashed).
+        results = []
+        for batched in (True, False):
+            with _Batched(batched):
+                rng = np.random.default_rng(5)
+                scorer = TransRScorer(3, entity_dim=8, relation_dim=4,
+                                      rng=rng)
+                emb = Tensor(np.random.default_rng(7).normal(
+                    size=(40, 8)), requires_grad=True)
+                r = np.random.default_rng(11)
+                loss = transr_loss(scorer, emb,
+                                   r.integers(0, 40, 30),
+                                   r.integers(0, 3, 30),
+                                   r.integers(0, 40, 30),
+                                   r.integers(0, 40, 30))
+                loss.backward()
+                results.append((loss.data.copy(), emb.grad))
+        assert np.array_equal(results[0][0], results[1][0])
+        assert np.array_equal(results[0][1], results[1][1])
+
+    def test_absent_relations_receive_no_grad(self):
+        # Adam skips grad-less parameters; a relation absent from the
+        # batch must keep grad None exactly like the historical loop.
+        with _Batched(True):
+            rng = np.random.default_rng(5)
+            scorer = TransRScorer(4, 8, 8, rng)
+            emb = Tensor(np.random.default_rng(7).normal(size=(40, 8)),
+                         requires_grad=True)
+            heads = np.array([0, 1, 2])
+            rels = np.array([0, 0, 2])
+            tails = np.array([3, 4, 5])
+            loss = transr_loss(scorer, emb, heads, rels, pos_tails=tails,
+                               neg_tails=tails[::-1].copy())
+            loss.backward()
+            assert scorer.relation_proj[0].grad is not None
+            assert scorer.relation_proj[1].grad is None
+            assert scorer.relation_proj[2].grad is not None
+            assert scorer.relation_proj[3].grad is None

@@ -1,0 +1,52 @@
+"""Parity of the vectorized MKGAT modality-node KG extension with the
+historical per-item/per-modality loop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.mkgat import _extend_kg_with_modalities
+from repro.data.kg_builder import KnowledgeGraph
+
+
+def _loop_reference(kg: KnowledgeGraph, num_modalities: int):
+    num_items = kg.num_items
+    base_entities = kg.num_entities
+    base_relations = kg.num_relations
+    extra = []
+    for m in range(num_modalities):
+        node_base = base_entities + m * num_items
+        for item in range(num_items):
+            extra.append((item, base_relations + m, node_base + item))
+    return np.concatenate([kg.triplets, np.asarray(extra, dtype=np.int64)])
+
+
+def _toy_kg() -> KnowledgeGraph:
+    triplets = np.array([[0, 0, 3], [1, 1, 4], [2, 0, 5]], dtype=np.int64)
+    return KnowledgeGraph(
+        triplets=triplets, num_entities=6, num_relations=2, num_items=3,
+        entity_labels=("a",) * 6,
+        relation_names=("r0", "r1"))
+
+
+def test_extension_matches_loop():
+    kg = _toy_kg()
+    for num_modalities in (1, 2, 3):
+        extended = _extend_kg_with_modalities(kg, num_modalities)
+        assert np.array_equal(extended.triplets,
+                              _loop_reference(kg, num_modalities))
+        assert extended.num_entities == 6 + num_modalities * 3
+        assert extended.num_relations == 2 + num_modalities
+
+
+def test_zero_modalities_is_identity_on_triplets():
+    kg = _toy_kg()
+    extended = _extend_kg_with_modalities(kg, 0)
+    assert np.array_equal(extended.triplets, kg.triplets)
+
+
+def test_modality_nodes_are_distinct_per_item():
+    extended = _extend_kg_with_modalities(_toy_kg(), 2)
+    extra = extended.triplets[3:]
+    assert len(np.unique(extra[:, 2])) == 6   # one node per (item, modality)
+    assert set(extra[:, 1].tolist()) == {2, 3}

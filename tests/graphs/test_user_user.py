@@ -67,3 +67,61 @@ class TestAttention:
     def test_neighbors_of(self, user_item):
         graph = UserUserGraph(user_item, top_k=2)
         assert set(graph.neighbors_of(0).tolist()) == {1, 2}
+
+
+class TestTopkVectorizationParity:
+    """The length-bucketed batched argpartition must reproduce the
+    historical per-row loop *exactly* — including which of several tied
+    boundary values survive, since the selection freezes the graph the
+    recorded results were trained on."""
+
+    @staticmethod
+    def _loop_reference(matrix, top_k):
+        matrix = matrix.tocsr()
+        rows, cols, vals = [], [], []
+        for row in range(matrix.shape[0]):
+            start, end = matrix.indptr[row], matrix.indptr[row + 1]
+            if start == end:
+                continue
+            row_vals = matrix.data[start:end]
+            row_cols = matrix.indices[start:end]
+            if len(row_vals) > top_k:
+                keep = np.argpartition(-row_vals, top_k - 1)[:top_k]
+            else:
+                keep = np.arange(len(row_vals))
+            rows.extend([row] * len(keep))
+            cols.extend(row_cols[keep].tolist())
+            vals.extend(row_vals[keep].tolist())
+        return sp.csr_matrix((vals, (rows, cols)), shape=matrix.shape)
+
+    def _assert_bit_equal(self, got, want):
+        got.sum_duplicates()
+        want.sum_duplicates()
+        assert np.array_equal(got.indptr, want.indptr)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.data, want.data)
+
+    def test_matches_loop_on_tie_heavy_counts(self):
+        rng = np.random.default_rng(0)
+        for trial in range(8):
+            dense = rng.integers(0, 4, size=(37, 37)).astype(float)
+            np.fill_diagonal(dense, 0.0)
+            matrix = sp.csr_matrix(dense)
+            for k in (1, 3, 10):
+                self._assert_bit_equal(topk_per_row(matrix, k),
+                                       self._loop_reference(matrix, k))
+
+    def test_matches_loop_with_empty_and_short_rows(self):
+        dense = np.zeros((6, 6))
+        dense[0, 1] = 2.0
+        dense[2, :4] = [1.0, 1.0, 1.0, 1.0]
+        dense[5, 0] = 3.0
+        matrix = sp.csr_matrix(dense)
+        self._assert_bit_equal(topk_per_row(matrix, 2),
+                               self._loop_reference(matrix, 2))
+
+    def test_matches_loop_on_cooccurrence(self, user_item):
+        co = cooccurrence_counts(user_item)
+        for k in (1, 2, 5):
+            self._assert_bit_equal(topk_per_row(co, k),
+                                   self._loop_reference(co, k))

@@ -1,0 +1,259 @@
+"""Forward-reuse memo parity: cache on vs ``REPRO_FORWARD_CACHE=0``.
+
+The contract (docs/ARCHITECTURE.md, "Forward versioning and reuse"):
+with the memo enabled, every training run produces bit-identical
+trained parameters, loss curves, evaluation metrics, and RNG stream
+positions to the uncached path — a memo hit returns exactly the arrays
+a recomputation would have produced, and fast-forwards any recorded RNG
+draws so downstream consumption is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.forward_cache import ForwardMemo
+from repro.autograd.nn import Embedding, Module
+from repro.autograd.optim import Adam
+from repro.baselines import create_model
+from repro.core.config import FirzenConfig
+from repro.core.firzen import FirzenModel
+from repro.data import load_amazon
+from repro.eval import evaluate_model
+from repro.train.trainer import TrainConfig, train_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_amazon("beauty", size="tiny")
+
+
+class _CacheMode:
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+
+    def __enter__(self):
+        self.prev = os.environ.get("REPRO_FORWARD_CACHE")
+        os.environ["REPRO_FORWARD_CACHE"] = "1" if self.enabled else "0"
+
+    def __exit__(self, *exc):
+        if self.prev is None:
+            os.environ.pop("REPRO_FORWARD_CACHE", None)
+        else:
+            os.environ["REPRO_FORWARD_CACHE"] = self.prev
+
+
+def _rng_positions(model) -> list:
+    """Every generator the model owns, by exact stream position."""
+    positions = []
+    for attr in ("_kg_rng", "_disc_rng", "rng"):
+        rng = getattr(model, attr, None)
+        if rng is not None:
+            positions.append((attr, repr(rng.bit_generator.state)))
+    encoders = getattr(model, "modality_encoders", None) or {}
+    for name, encoder in encoders.items():
+        positions.append(
+            (f"drop:{name}", repr(encoder._drop_rng.bit_generator.state)))
+    return positions
+
+
+def _train_fingerprint(dataset, name: str, cache: bool, config=None):
+    with _CacheMode(cache):
+        if name == "Firzen" and config is not None:
+            model = FirzenModel(dataset, config.embedding_dim,
+                                np.random.default_rng(0), config=config)
+        else:
+            model = create_model(name, dataset, seed=0)
+        result = train_model(model, dataset,
+                             TrainConfig(epochs=2, eval_every=3, seed=0))
+        metrics = evaluate_model(model, dataset.split, k=10)
+        return (model.state_dict(), result.losses, _rng_positions(model),
+                (metrics.cold.recall, metrics.cold.mrr,
+                 metrics.warm.recall, metrics.warm.mrr))
+
+
+CONFIGS = [
+    ("KGAT", None),
+    ("Firzen", None),
+    ("Firzen-noMSHGL", FirzenConfig(embedding_dim=16, use_mshgl=False)),
+    ("Firzen-noKA", FirzenConfig(embedding_dim=16, use_knowledge=False)),
+    ("Firzen-noMA", FirzenConfig(embedding_dim=16, use_modality=False)),
+]
+
+
+@pytest.mark.parametrize("label,config", CONFIGS,
+                         ids=[label for label, _ in CONFIGS])
+def test_training_parity_cache_on_vs_off(dataset, label, config):
+    name = "Firzen" if label.startswith("Firzen") else label
+    state_on, losses_on, rng_on, metrics_on = _train_fingerprint(
+        dataset, name, True, config)
+    state_off, losses_off, rng_off, metrics_off = _train_fingerprint(
+        dataset, name, False, config)
+    assert losses_on == losses_off
+    assert rng_on == rng_off
+    assert metrics_on == metrics_off
+    assert state_on.keys() == state_off.keys()
+    for key in state_on:
+        assert np.array_equal(state_on[key], state_off[key]), key
+
+
+class TestVersionCounters:
+    def test_optimizer_step_bumps_only_updated_params(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 3)), requires_grad=True)
+        opt = Adam([a, b], lr=0.1)
+        a.grad = np.ones((4, 3))
+        before_a, before_b = a._version, b._version
+        opt.step()
+        assert a._version == before_a + 1
+        assert b._version == before_b          # no grad, no bump
+
+    def test_sparse_deferred_step_bumps_at_step_time(self):
+        emb = Embedding(50, 4, np.random.default_rng(0))
+        opt = Adam(emb.parameters(), lr=0.1, sparse=True)
+        before = emb.weight._version
+        out = emb(np.array([1, 2, 3]))
+        out.sum().backward()
+        opt.step()
+        assert emb.weight._version == before + 1
+        opt.release()
+
+    def test_load_state_dict_bumps(self):
+        emb = Embedding(5, 3, np.random.default_rng(0))
+        state = emb.state_dict()
+        before = emb.weight._version
+        emb.load_state_dict(state)
+        assert emb.weight._version == before + 1
+
+
+class _CountingModule(Module):
+    def __init__(self, param):
+        super().__init__()
+        self.param = param
+        self.computes = 0
+
+    def forward(self):
+        return self.memoized("out", [self.param], self._compute)
+
+    def _compute(self):
+        self.computes += 1
+        return self.param * 2.0
+
+
+class TestMemoMechanics:
+    def test_hit_while_version_unchanged(self):
+        module = _CountingModule(Tensor(np.ones((3, 2)),
+                                        requires_grad=True))
+        first = module()
+        second = module()
+        assert second is first
+        assert module.computes == 1
+
+    def test_version_bump_invalidates(self):
+        module = _CountingModule(Tensor(np.ones((3, 2)),
+                                        requires_grad=True))
+        module()
+        module.param.bump_version()
+        module()
+        assert module.computes == 2
+
+    def test_bump_memos_invalidates(self):
+        module = _CountingModule(Tensor(np.ones((3, 2)),
+                                        requires_grad=True))
+        module()
+        module.bump_memos()
+        module()
+        assert module.computes == 2
+
+    def test_escape_hatch_disables_lookups(self):
+        with _CacheMode(False):
+            module = _CountingModule(Tensor(np.ones((3, 2)),
+                                            requires_grad=True))
+            module()
+            module()
+            assert module.computes == 2
+
+    def test_rng_hit_fast_forwards_stream(self):
+        memo = ForwardMemo()
+        rng = np.random.default_rng(7)
+        pre_state = rng.bit_generator.state
+
+        def compute():
+            return rng.random(5)
+
+        deps: list = []
+        first = memo.cached("draw", deps, compute, rng=rng)
+        post_state = repr(rng.bit_generator.state)
+        # Rewind to the recorded pre-state: the uncached path would now
+        # redraw the same numbers; a hit must fast-forward instead.
+        rng.bit_generator.state = pre_state
+        second = memo.cached("draw", deps, compute, rng=rng)
+        assert second is first
+        assert repr(rng.bit_generator.state) == post_state
+        # At the *advanced* position the entry no longer matches: the
+        # uncached path would draw different numbers, so it recomputes.
+        third = memo.cached("draw", deps, compute, rng=rng)
+        assert third is not first
+        assert not np.array_equal(third, first)
+
+
+class TestStructureInvalidation:
+    def test_adapt_to_interactions_recomputes(self, dataset):
+        model = create_model("Firzen", dataset, seed=0)
+        model.refresh()
+        users_before = model.user_matrix().copy()
+        extra = dataset.split.cold_test[:4]
+        model.adapt_to_interactions(extra)
+        users_after = model.user_matrix()
+        # The rebind changed the frozen graphs; a stale memo would have
+        # returned the identical arrays.
+        assert not np.array_equal(users_before, users_after)
+
+    def test_kgat_rebind_recomputes(self, dataset):
+        model = create_model("KGAT", dataset, seed=0)
+        first = model._forward()
+        extra = dataset.split.cold_test[:4]
+        model.adapt_to_interactions(extra)
+        second = model._forward()
+        assert second is not first
+
+    def test_training_dropout_forward_bypasses_memo(self, dataset):
+        # A dropout draw advances the stream, so a training-mode hit is
+        # impossible — the encoder must recompute (fresh masks) rather
+        # than pay a guaranteed-miss lookup or, worse, serve stale ones.
+        model = create_model("Firzen", dataset, seed=0)
+        encoder = next(iter(model.modality_encoders.values()))
+        encoder.train()
+        first = encoder()
+        second = encoder()
+        assert second[0] is not first[0]
+        encoder.eval()
+        eval_first = encoder()
+        eval_second = encoder()
+        assert eval_second[0] is eval_first[0]   # deterministic: memoized
+
+    def test_lazy_row_flush_preserves_hit(self):
+        # A flush replays deferred rows but changes no logical value:
+        # versions already counted the step, so the memo entry created
+        # *after* the step must survive the flush.
+        emb = Embedding(50, 4, np.random.default_rng(0))
+        opt = Adam(emb.parameters(), lr=0.1, sparse=True)
+        out = emb(np.array([1, 2, 3]))
+        out.sum().backward()
+        opt.step()
+        memo = ForwardMemo()
+        computes = []
+
+        def compute():
+            computes.append(1)
+            return emb.weight.data.copy()
+
+        first = memo.cached("w", [emb.weight], compute)
+        opt.flush()
+        second = memo.cached("w", [emb.weight], compute)
+        assert second is first and len(computes) == 1
+        opt.release()
