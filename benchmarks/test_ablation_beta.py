@@ -3,27 +3,25 @@
 Checks that the discriminator-driven momentum update (eq. 16-17) behaves
 sanely: frozen-beta Firzen is a valid model, and the learned variant's
 weights move away from uniform while keeping performance at least on par.
+Each variant is a spec with a Firzen-config override; the learned betas
+are read off the trained artifact.
 """
 
-import numpy as np
-
-from _shared import bench_train_config, get_dataset, write_result
-from repro.core import FirzenConfig, FirzenModel
-from repro.eval import evaluate_model
-from repro.train import train_model
+from _shared import (RUNNER, bench_spec, evaluate_spec, write_result)
 from repro.utils.tables import format_table
 
 
 def _run():
-    dataset = get_dataset("beauty")
     rows = []
     outcomes = {}
     for label, freeze in (("learned beta", False), ("fixed beta", True)):
-        config = FirzenConfig(freeze_beta=freeze, beta_momentum=0.9)
-        model = FirzenModel(dataset, 32, np.random.default_rng(0),
-                            config=config)
-        train_model(model, dataset, bench_train_config(epochs=8))
-        result = evaluate_model(model, dataset.split)
+        spec = bench_spec(
+            "beauty", models=("Firzen",), epochs=8,
+            model_kwargs={"Firzen": {"config": {"freeze_beta": freeze,
+                                                "beta_momentum": 0.9}}},
+            name=f"ablation-beta[{label}]")
+        model, _ = RUNNER.trained(spec, "Firzen")
+        result = evaluate_spec(spec, "Firzen")
         outcomes[label] = (model.beta, result)
         rows.append({
             "fusion": label,

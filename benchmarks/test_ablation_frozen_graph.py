@@ -3,29 +3,47 @@
 The paper freezes the item-item graphs (following FREEDOM's finding that
 learning them adds cost without accuracy). This bench compares Firzen's
 frozen graphs against a LATTICE-style variant that rebuilds the graphs
-from the current fused item embeddings after every epoch.
+from the current fused item embeddings after every epoch. The dynamic
+variant registers a model factory with the experiment runner, so both
+sides train through the same cached pipeline; training cost comes from
+each artifact's stored training record (wall-clock of the run that
+actually trained it).
 """
-
-import time
 
 import numpy as np
 
-from _shared import bench_train_config, get_dataset, write_result
+from _shared import RUNNER, bench_spec, evaluate_spec, write_result
 from repro.core import FirzenConfig, FirzenModel
-from repro.eval import evaluate_model
+from repro.experiments import register_model_factory
 from repro.graphs.item_item import build_item_item_graphs
-from repro.train import train_model
 from repro.utils.tables import format_table
 
 
 class DynamicGraphFirzen(FirzenModel):
     """LATTICE-style variant: item-item graphs rebuilt from the current
-    fused item embeddings at every epoch end."""
+    fused item embeddings at every epoch end.
+
+    The rebuilt graphs are training state a parameter checkpoint cannot
+    carry (the rebuild inputs include dropout-noised forward outputs
+    whose RNG draws precede the snapshot point), so the feature
+    matrices the last rebuild consumed ride along in
+    ``training_state()`` and a resumed run reconstructs the identical
+    graphs. The eval artifact is produced in the same run that trains,
+    so the published numbers always reflect the final graphs.
+    """
+
+    #: feature matrices consumed by the last graph rebuild (None until
+    #: the first epoch completes)
+    _dynamic_features = None
 
     def on_epoch_end(self, epoch: int):
         super().on_epoch_end(epoch)
         fused_u, fused_i, _ = self._sahgl(self.modalities)
-        features = {m: fused_i.data.copy() for m in self.modalities}
+        self._dynamic_features = {m: fused_i.data.copy()
+                                  for m in self.modalities}
+        self._rebuild_graphs(self._dynamic_features)
+
+    def _rebuild_graphs(self, features: dict) -> None:
         self.item_graphs = build_item_item_graphs(
             features, self.config.item_item_topk,
             self.dataset.split.warm_items, self.dataset.split.is_cold)
@@ -35,22 +53,46 @@ class DynamicGraphFirzen(FirzenModel):
             for m, g in self.item_graphs.items()
         }
 
+    def training_state(self):
+        state = super().training_state()
+        if self._dynamic_features is not None:
+            for modality, features in self._dynamic_features.items():
+                state[f"dynamic_features.{modality}"] = features
+        return state
+
+    def load_training_state(self, state):
+        super().load_training_state(
+            {k: v for k, v in state.items()
+             if not k.startswith("dynamic_features.")})
+        features = {k.split(".", 1)[1]: v for k, v in state.items()
+                    if k.startswith("dynamic_features.")}
+        if features:
+            self._dynamic_features = features
+            self._rebuild_graphs(features)
+
+
+def _make_dynamic(dataset, embedding_dim=32, seed=0, config=None):
+    return DynamicGraphFirzen(dataset, embedding_dim,
+                              np.random.default_rng(seed),
+                              config=config or FirzenConfig())
+
+
+register_model_factory("DynamicGraphFirzen", _make_dynamic, FirzenConfig)
+
 
 def _run():
-    dataset = get_dataset("beauty")
+    spec = bench_spec("beauty", models=("Firzen", "DynamicGraphFirzen"),
+                      epochs=8, name="ablation-frozen-graph")
     rows = []
     outcomes = {}
-    for label, cls in (("frozen", FirzenModel),
-                       ("dynamic", DynamicGraphFirzen)):
-        model = cls(dataset, 32, np.random.default_rng(0),
-                    config=FirzenConfig())
-        start = time.perf_counter()
-        train_model(model, dataset, bench_train_config(epochs=8))
-        elapsed = time.perf_counter() - start
-        result = evaluate_model(model, dataset.split)
-        outcomes[label] = (elapsed, result)
+    for label, model_name in (("frozen", "Firzen"),
+                              ("dynamic", "DynamicGraphFirzen")):
+        _, train_result = RUNNER.trained(spec, model_name)
+        result = evaluate_spec(spec, model_name)
+        outcomes[label] = (train_result.train_seconds, result)
         rows.append({
-            "graphs": label, "train s": round(elapsed, 2),
+            "graphs": label,
+            "train s": round(train_result.train_seconds, 2),
             "Cold R@20": round(100 * result.cold.recall, 2),
             "Warm R@20": round(100 * result.warm.recall, 2),
             "HM M@20": round(100 * result.hm.mrr, 2),

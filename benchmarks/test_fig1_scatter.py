@@ -3,19 +3,18 @@
 The paper's motivating figure: existing methods trade off the two axes
 (warm specialists in the lower right, cold specialists in the upper
 left), while Firzen sits on the Pareto frontier toward the upper right.
+The points are read straight from the Table II evaluation artifacts.
 """
 
-from _shared import ALL_MODELS, get_dataset, get_trained_model, write_result
-from repro.eval import evaluate_model
+from _shared import ALL_MODELS, bench_spec, evaluate_spec, write_result
 from repro.utils.tables import format_table
 
 
 def _run():
-    dataset = get_dataset("beauty")
+    spec = bench_spec("beauty")
     points = {}
     for name in ALL_MODELS:
-        model, _ = get_trained_model("beauty", name)
-        result = evaluate_model(model, dataset.split)
+        result = evaluate_spec(spec, name)
         points[name] = (100 * result.warm.mrr, 100 * result.cold.mrr)
     return points
 

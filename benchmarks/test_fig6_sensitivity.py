@@ -1,17 +1,18 @@
 """Fig. 6 — hyperparameter sensitivity: lambda_k, lambda_m, eta, K.
 
-Paper shapes to reproduce: cold performance peaks at an interior value of
-lambda_k and lambda_m while warm decreases as they grow; performance is
-insensitive to eta; cold degrades as the item-item K grows
-(over-connection propagates noise into cold items).
+Each panel is one spec with a sweep axis, expanded into per-value child
+specs by the experiment pipeline — every swept point is its own
+content-addressed trained artifact. Paper shapes to reproduce: cold
+performance peaks at an interior value of lambda_k and lambda_m while
+warm decreases as they grow; performance is insensitive to eta; cold
+degrades as the item-item K grows (over-connection propagates noise
+into cold items).
 """
 
-import numpy as np
+import dataclasses
 
-from _shared import bench_train_config, get_dataset, render, write_result
-from repro.core import FirzenConfig, FirzenModel
-from repro.eval import evaluate_model
-from repro.train import train_model
+from _shared import bench_spec, evaluate_spec, render, write_result
+from repro.experiments import expand_sweep
 
 SWEEPS = {
     "lambda_k": [0.0, 0.25, 0.5, 1.0],
@@ -22,14 +23,13 @@ SWEEPS = {
 
 
 def _sweep(param, values):
-    dataset = get_dataset("beauty")
+    spec = dataclasses.replace(
+        bench_spec("beauty", models=("Firzen",), epochs=8,
+                   name=f"fig6[{param}]"),
+        sweep=(param, tuple(values)))
     rows = []
-    for value in values:
-        config = FirzenConfig(**{param: value})
-        model = FirzenModel(dataset, 32, np.random.default_rng(0),
-                            config=config)
-        train_model(model, dataset, bench_train_config(epochs=8))
-        result = evaluate_model(model, dataset.split)
+    for value, child in expand_sweep(spec):
+        result = evaluate_spec(child, "Firzen")
         rows.append({
             "param": param, "value": value,
             "Cold M@20": round(100 * result.cold.mrr, 2),

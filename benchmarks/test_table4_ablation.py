@@ -1,17 +1,14 @@
 """Table IV — component ablation of Firzen on the Beauty benchmark.
 
 Variants: w/o BA (behavior-aware), w/o KA (knowledge-aware), w/o MA
-(modality-aware), w/o MS (MSHGL), and the full model. Paper findings to
-reproduce: full model best HM; removing MS hurts cold the most; removing
-BA hurts warm.
+(modality-aware), w/o MS (MSHGL), and the full model — each one a spec
+with a Firzen-config override, executed through the shared runner (the
+full model shares the Table II trained artifact). Paper findings to
+reproduce: full model best HM; removing MS hurts cold the most;
+removing BA hurts warm.
 """
 
-import numpy as np
-
-from _shared import (bench_train_config, get_dataset, render, write_result)
-from repro.core import FirzenConfig, FirzenModel
-from repro.eval import evaluate_model
-from repro.train import train_model
+from _shared import bench_spec, evaluate_spec, render, write_result
 
 VARIANTS = [
     ("w/o BA", {"use_behavior": False}),
@@ -22,16 +19,19 @@ VARIANTS = [
 ]
 
 
+def _variant_spec(label: str, overrides: dict):
+    return bench_spec(
+        "beauty", models=("Firzen",),
+        model_kwargs={"Firzen": {"config": overrides}} if overrides
+        else None,
+        name=f"table4[{label}]")
+
+
 def _run_variants():
-    dataset = get_dataset("beauty")
     rows = []
     results = {}
     for label, overrides in VARIANTS:
-        config = FirzenConfig(**overrides)
-        model = FirzenModel(dataset, 32, np.random.default_rng(0),
-                            config=config)
-        train_model(model, dataset, bench_train_config())
-        result = evaluate_model(model, dataset.split)
+        result = evaluate_spec(_variant_spec(label, overrides), "Firzen")
         results[label] = result
         for setting, metrics in (("Cold", result.cold),
                                  ("Warm", result.warm), ("HM", result.hm)):

@@ -1,41 +1,30 @@
 """Table VI — normal cold-start transfer.
 
 The known half of cold-test interactions becomes available at inference
-(``adapt_to_interactions``); the unknown half is evaluated. Paper shapes:
+(``adapt_to_interactions``); the unknown half is evaluated. Runs as the
+``normal_cold`` eval-stage scenario on the Table II trained artifacts —
+the protocol mutates frozen model structures, so the runner hands it a
+private trained copy and the shared models stay pristine. Paper shapes:
 Firzen stays best; graph-based models (LightGCN, MMSSL) recover a lot of
 performance relative to their strict cold numbers; BPR/CKE gain little.
 """
 
-from _shared import get_dataset, get_trained_model, render, write_result
-from repro.eval import evaluate_normal_cold, evaluate_scenario
+from _shared import RUNNER, bench_spec, render, write_result
 
 MODELS = ["BPR", "LightGCN", "SGL", "SimpleX", "CKE", "KGAT", "KGCN",
           "KGNNLS", "VBPR", "DRAGON", "BM3", "MMSSL", "DropoutNet",
           "CLCRec", "MKGAT", "Firzen"]
 
 
-def _clone_trained(name, dataset):
-    """Fresh model instance carrying a cached trained model's weights, so
-    graph mutations never leak into the shared cache."""
-    from repro.baselines import create_model
-    trained, _ = get_trained_model("beauty", name)
-    clone = create_model(name, dataset, embedding_dim=32, seed=0)
-    clone.load_state_dict(trained.state_dict())
-    if hasattr(trained, "fusion"):   # Firzen's beta buffers
-        clone.fusion.beta = dict(trained.fusion.beta)
-    clone.eval()
-    return clone
-
-
 def _run():
-    dataset = get_dataset("beauty")
+    spec = bench_spec("beauty", models=MODELS,
+                      scenarios=(("normal_cold", {}),),
+                      name="table6")
     rows = []
     scores = {}
     for name in MODELS:
-        model = _clone_trained(name, dataset)
-        strict = evaluate_scenario(model, dataset.split, "cold_test_unknown")
-        model.adapt_to_interactions(dataset.split.cold_test_known)
-        normal = evaluate_normal_cold(model, dataset.split)
+        metrics = RUNNER.evaluation(spec, name)
+        strict, normal = metrics["strict_unknown"], metrics["normal"]
         rows.append({
             "Method": name,
             "R@20": round(100 * normal.recall, 2),

@@ -1,13 +1,14 @@
 """Table VIII — contribution of each side-information source at inference.
 
-One trained Firzen model, four inference configurations: BA only, BA+KA,
-BA+VA, BA+TA. Paper shapes on Beauty: every source adds cold performance
-over BA alone, and the textual modality contributes more than the visual
-one (TA > VA) because our Beauty world generates a noisier visual view.
+One trained Firzen model (the Table II artifact), five inference-stage
+``modality_mask`` scenarios: BA only, BA+KA, BA+VA, BA+TA, full — the
+training stage is shared and only the eval stage re-runs per gating.
+Paper shapes on Beauty: every source adds cold performance over BA
+alone, and the textual modality contributes more than the visual one
+(TA > VA) because our Beauty world generates a noisier visual view.
 """
 
-from _shared import get_dataset, get_trained_model, render, write_result
-from repro.eval import evaluate_model
+from _shared import bench_spec, evaluate_spec, render, write_result
 
 GATINGS = [
     ("BA", False, ()),
@@ -19,25 +20,22 @@ GATINGS = [
 
 
 def _run():
-    dataset = get_dataset("beauty")
-    model, _ = get_trained_model("beauty", "Firzen")
     rows = []
     results = {}
     for label, use_kg, modalities in GATINGS:
-        model.config.inference_use_knowledge = use_kg
-        model.config.inference_modalities = modalities
-        model.invalidate()
-        result = evaluate_model(model, dataset.split)
+        spec = bench_spec(
+            "beauty", models=("Firzen",),
+            scenarios=(("modality_mask",
+                        {"use_knowledge": use_kg,
+                         "modalities": list(modalities)}),),
+            name=f"table8[{label}]")
+        result = evaluate_spec(spec, "Firzen")
         results[label] = result
         for setting, metrics in (("Cold", result.cold),
                                  ("Warm", result.warm), ("HM", result.hm)):
             row = {"Features": label, "Setting": setting}
             row.update(metrics.as_percent_row())
             rows.append(row)
-    # restore the full configuration on the cached model
-    model.config.inference_use_knowledge = None
-    model.config.inference_modalities = None
-    model.invalidate()
     return rows, results
 
 

@@ -9,30 +9,35 @@ enough to see the warm/cold trade-off each family makes:
 * DropoutNet (CS)    — good cold, sacrifices warm;
 * Firzen (MM+KG)     — best harmonic mean.
 
+The whole comparison is one experiment spec; every model is a cached,
+resumable training artifact.
+
 Run with::
 
     python examples/compare_baselines.py
 """
 
-from repro.baselines import create_model, model_family
-from repro.data import load_amazon
-from repro.eval import evaluate_model
-from repro.train import TrainConfig, train_model
+from repro.baselines import model_family
+from repro.experiments import ExperimentSpec, Runner
+from repro.train import TrainConfig
 from repro.utils.tables import format_table
 
-MODELS = ["LightGCN", "KGAT", "MMSSL", "DropoutNet", "Firzen"]
+SPEC = ExperimentSpec(
+    name="compare-families",
+    dataset="beauty",
+    models=("LightGCN", "KGAT", "MMSSL", "DropoutNet", "Firzen"),
+    train=TrainConfig(epochs=12, eval_every=4, batch_size=512,
+                      learning_rate=0.05),
+    description="one model per family on Beauty (Table II slice)",
+)
 
 
 def main() -> None:
-    dataset = load_amazon("beauty")
-    config = TrainConfig(epochs=12, eval_every=4, batch_size=512,
-                         learning_rate=0.05)
+    runner = Runner()
+    run = runner.run(SPEC)
     rows = []
-    for name in MODELS:
-        print(f"training {name} ...")
-        model = create_model(name, dataset, embedding_dim=32, seed=0)
-        train_model(model, dataset, config)
-        result = evaluate_model(model, dataset.split)
+    for name in SPEC.models:
+        result = run.scenario(name)
         rows.append({
             "Method": name,
             "Type": model_family(name),
@@ -42,7 +47,6 @@ def main() -> None:
             "Warm M@20": round(100 * result.warm.mrr, 2),
             "HM M@20": round(100 * result.hm.mrr, 2),
         })
-    print()
     print(format_table(rows, title="One model per family (Beauty)"))
     best = max(rows, key=lambda r: r["HM M@20"])
     print(f"\nbest harmonic mean: {best['Method']} "

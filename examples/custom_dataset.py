@@ -1,10 +1,12 @@
 """Building a custom benchmark world and inspecting the frozen graphs.
 
-Shows the full pipeline the library exposes: configure a synthetic world,
-apply the 5-core filter and strict cold-start split, build the KG, then
-inspect the frozen structures Firzen trains on — the collaborative KG,
-the modality-specific item-item graphs (with the cold->warm mask) and the
-user-user co-occurrence graph.
+Shows that the experiment pipeline is not limited to the paper's four
+benchmarks: a spec with ``dataset="custom"`` carries WorldConfig
+overrides, and the runner builds (and caches) that world like any other
+dataset stage. The rest of the script inspects the frozen structures
+Firzen trains on — the collaborative KG, the modality-specific
+item-item graphs (with the cold->warm mask) and the user-user
+co-occurrence graph.
 
 Run with::
 
@@ -13,26 +15,36 @@ Run with::
 
 import numpy as np
 
-from repro.data import build_dataset
-from repro.data.world import WorldConfig
+from repro.experiments import ExperimentSpec, Runner
 from repro.graphs import (UserUserGraph, build_collaborative_kg,
                           build_item_item_graphs)
 from repro.graphs.interaction import InteractionGraph
 
+# A custom world: 10 taste clusters, very informative text, almost
+# uninformative images.
+SPEC = ExperimentSpec(
+    name="custom-world",
+    dataset="custom",
+    world={
+        "num_users": 300,
+        "num_items": 200,
+        "num_clusters": 10,
+        "interactions_per_user_mean": 10.0,
+        "text_noise": 0.2,
+        "image_noise": 1.5,
+        "seed": 42,
+    },
+    models=(),
+    description="inspect the frozen graphs of a custom synthetic world",
+)
+
 
 def main() -> None:
-    # A custom world: 10 taste clusters, very informative text, almost
-    # uninformative images.
-    config = WorldConfig(
-        num_users=300,
-        num_items=200,
-        num_clusters=10,
-        interactions_per_user_mean=10.0,
-        text_noise=0.2,
-        image_noise=1.5,
-        seed=42,
-    )
-    dataset = build_dataset("custom", config)
+    runner = Runner()
+    # require_world: the cluster-coherence check below grades the kNN
+    # graphs against generator ground truth, which the on-disk artifact
+    # intentionally omits.
+    dataset = runner.dataset(SPEC, require_world=True)
     stats = dataset.statistics()
     print(f"dataset: {stats.num_users} users, {stats.num_items} items, "
           f"{stats.num_interactions} interactions, "

@@ -1,6 +1,7 @@
 """Fig. 8 demo: t-SNE of cold vs warm item embeddings for two models.
 
-Trains LightGCN and Firzen on Beauty, projects their final item
+Pulls LightGCN and Firzen from the experiment runner's trained
+artifacts (training them on first run), projects their final item
 embeddings to 2-D with the from-scratch t-SNE, and prints the mixing
 statistics: LightGCN's strict cold embeddings form a separate blob (they
 never left initialization), while Firzen's overlap the warm cloud.
@@ -12,22 +13,28 @@ Run with::
 
 from repro.analysis.tsne import (centroid_distance_ratio,
                                  distribution_overlap, tsne)
-from repro.baselines import create_model
-from repro.data import load_amazon
-from repro.train import TrainConfig, train_model
+from repro.experiments import ExperimentSpec, Runner
+from repro.train import TrainConfig
 from repro.utils.tables import format_table
+
+SPEC = ExperimentSpec(
+    name="embedding-visualization",
+    dataset="beauty",
+    models=("LightGCN", "Firzen"),
+    train=TrainConfig(epochs=12, eval_every=4, batch_size=512,
+                      learning_rate=0.05),
+    description="t-SNE mixing statistics of cold vs warm embeddings",
+)
 
 
 def main() -> None:
-    dataset = load_amazon("beauty")
+    runner = Runner()
+    dataset = runner.dataset(SPEC)
     cold = dataset.split.is_cold
     rows = []
-    for name in ("LightGCN", "Firzen"):
-        print(f"training {name} ...")
-        model = create_model(name, dataset, embedding_dim=32, seed=0)
-        train_model(model, dataset,
-                    TrainConfig(epochs=12, eval_every=4, batch_size=512,
-                                learning_rate=0.05))
+    for name in SPEC.models:
+        print(f"training (or loading) {name} ...")
+        model, _ = runner.trained(SPEC, name)
         print(f"running t-SNE on {name} item embeddings ...")
         projected = tsne(model.item_embeddings(), num_iters=250,
                          perplexity=15.0, seed=0).embedding

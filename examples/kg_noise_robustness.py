@@ -1,54 +1,52 @@
 """Robustness demo: how KG noise affects Firzen vs KGAT (paper Table V).
 
-Injects 20% outlier / duplicate / discrepancy triplets into the Beauty
-knowledge graph, retrains, and reports the relative degradation of each
-model's cold-start MRR.
+One clean spec plus one ``kg_noise`` scenario spec per noise kind —
+the transform injects 20% outlier / duplicate / discrepancy triplets
+into the Beauty knowledge graph at the dataset stage, and the runner
+retrains each model on the noisy benchmark (each noisy world and each
+retrained model is its own cached artifact).
 
 Run with::
 
     python examples/kg_noise_robustness.py
 """
 
-import numpy as np
-
-from repro.baselines import create_model
-from repro.data import load_amazon
-from repro.eval import evaluate_model
-from repro.noise import NOISE_KINDS, average_decrease, inject_noise
-from repro.train import TrainConfig, train_model
+from repro.experiments import ExperimentSpec, Runner
+from repro.noise import NOISE_KINDS, average_decrease
+from repro.train import TrainConfig
 from repro.utils.tables import format_table
 
-MODELS = ["KGAT", "Firzen"]
+MODELS = ("KGAT", "Firzen")
+TRAIN = TrainConfig(epochs=10, eval_every=5, batch_size=512,
+                    learning_rate=0.05)
 
 
-def train_and_eval(name, dataset):
-    model = create_model(name, dataset, embedding_dim=32, seed=0)
-    train_model(model, dataset,
-                TrainConfig(epochs=10, eval_every=5, batch_size=512,
-                            learning_rate=0.05))
-    return evaluate_model(model, dataset.split)
+def spec_for(kind: str | None) -> ExperimentSpec:
+    scenarios = () if kind is None else (
+        ("kg_noise", {"kind": kind, "rate": 0.2, "seed": 13}),)
+    return ExperimentSpec(
+        name="kg-noise-clean" if kind is None else f"kg-noise-{kind}",
+        dataset="beauty", models=MODELS, train=TRAIN,
+        scenarios=scenarios)
 
 
 def main() -> None:
-    dataset = load_amazon("beauty")
+    runner = Runner()
     print("training on the clean KG ...")
-    clean = {name: train_and_eval(name, dataset) for name in MODELS}
+    clean = runner.run(spec_for(None))
 
     rows = []
     for kind in NOISE_KINDS:
-        noisy_kg = inject_noise(dataset.kg, kind, 0.2,
-                                np.random.default_rng(13))
-        noisy_dataset = dataset.with_kg(noisy_kg)
-        print(f"training with 20% {kind} noise "
-              f"({noisy_kg.num_triplets} triplets) ...")
+        print(f"training with 20% {kind} noise ...")
+        noisy = runner.run(spec_for(kind))
         for name in MODELS:
-            result = train_and_eval(name, noisy_dataset)
+            result = noisy.scenario(name)
             rows.append({
                 "Noise": kind,
                 "Method": name,
                 "Cold M@20": round(100 * result.cold.mrr, 2),
                 "Avg.Dec%": round(average_decrease(
-                    clean[name].cold.mrr, result.cold.mrr), 1),
+                    clean.scenario(name).cold.mrr, result.cold.mrr), 1),
             })
     print()
     print(format_table(rows, title="KG noise robustness (cold scenario)"))

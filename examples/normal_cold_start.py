@@ -2,8 +2,10 @@
 
 Strict cold-start means *no* interactions exist for an item even at test
 time. The normal cold-start protocol relaxes this: half of each cold
-item's test interactions become *known* at inference. This example shows
-how different model families exploit the newly-known links:
+item's test interactions become *known* at inference. This example runs
+the ``normal_cold`` eval-stage scenario — training is shared with the
+strict protocol; only the evaluation differs — and shows how different
+model families exploit the newly-known links:
 
 * BPR cannot (no interaction graph at inference) — barely moves;
 * LightGCN rebuilds its propagation graph — recovers massively;
@@ -14,38 +16,34 @@ Run with::
     python examples/normal_cold_start.py
 """
 
-from repro.baselines import create_model
-from repro.data import load_amazon
-from repro.eval import evaluate_normal_cold, evaluate_scenario
-from repro.train import TrainConfig, train_model
+from repro.experiments import ExperimentSpec, Runner
+from repro.train import TrainConfig
 from repro.utils.tables import format_table
 
-MODELS = ["BPR", "LightGCN", "Firzen"]
+SPEC = ExperimentSpec(
+    name="normal-cold",
+    dataset="beauty",
+    models=("BPR", "LightGCN", "Firzen"),
+    train=TrainConfig(epochs=12, eval_every=4, batch_size=512,
+                      learning_rate=0.05),
+    scenarios=(("normal_cold", {}),),
+    description="strict vs normal cold-start recall (Table VI slice)",
+)
 
 
 def main() -> None:
-    dataset = load_amazon("beauty")
-    config = TrainConfig(epochs=12, eval_every=4, batch_size=512,
-                         learning_rate=0.05)
+    runner = Runner()
+    run = runner.run(SPEC)
     rows = []
-    for name in MODELS:
-        print(f"training {name} ...")
-        model = create_model(name, dataset, embedding_dim=32, seed=0)
-        train_model(model, dataset, config)
-
-        # Strict cold-start: evaluate the unknown half with nothing known.
-        strict = evaluate_scenario(model, dataset.split,
-                                   "cold_test_unknown")
-        # Normal cold-start: absorb the known half, then evaluate.
-        model.adapt_to_interactions(dataset.split.cold_test_known)
-        normal = evaluate_normal_cold(model, dataset.split)
+    for name in SPEC.models:
+        strict = run.results[name]["strict_unknown"]
+        normal = run.results[name]["normal"]
         rows.append({
             "Method": name,
             "strict R@20": round(100 * strict.recall, 2),
             "normal R@20": round(100 * normal.recall, 2),
             "gain": round(100 * (normal.recall - strict.recall), 2),
         })
-    print()
     print(format_table(rows, title="Strict vs normal cold-start (Table VI)"))
 
 

@@ -1,42 +1,58 @@
 """Quickstart: train Firzen on the Beauty benchmark and evaluate both
-strict cold-start and warm-start scenarios.
+strict cold-start and warm-start scenarios — as one declarative
+experiment spec.
+
+The runner executes the spec through the content-addressed artifact
+store (``.artifacts/`` by default, override with ``REPRO_ARTIFACTS``):
+re-running this script reuses the built dataset, the trained checkpoint
+and the evaluation results, and a killed run resumes mid-training from
+the stage's snapshot. The same spec is runnable from the CLI with
+``python -m repro run quickstart``.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.baselines import create_model
-from repro.data import load_amazon
-from repro.eval import evaluate_model
-from repro.train import TrainConfig, train_model
+from repro.experiments import ExperimentSpec, Runner
+from repro.train import TrainConfig
 from repro.utils.tables import format_table, scenario_rows
+
+SPEC = ExperimentSpec(
+    name="quickstart",
+    dataset="beauty",
+    models=("Firzen",),
+    train=TrainConfig(epochs=16, eval_every=4, batch_size=512,
+                      learning_rate=0.05, verbose=True),
+    description="train Firzen on Beauty, strict cold + warm eval",
+)
 
 
 def main() -> None:
-    # 1. Build the strict cold-start benchmark (synthetic Amazon-Beauty
-    #    stand-in: interactions, multi-modal features, knowledge graph,
-    #    20% of items held out as strict cold-start).
-    dataset = load_amazon("beauty")
+    runner = Runner()
+
+    # 1. Stage one builds (or fetches) the strict cold-start benchmark
+    #    (synthetic Amazon-Beauty stand-in: interactions, multi-modal
+    #    features, knowledge graph, 20% of items held out).
+    dataset = runner.dataset(SPEC)
     print(format_table([dataset.statistics().as_row()],
                        title="Dataset statistics"))
 
-    # 2. Train Firzen. The trainer handles BPR batches, the alternating
-    #    TransR step, discriminator updates and early stopping.
-    model = create_model("Firzen", dataset, embedding_dim=32, seed=0)
-    config = TrainConfig(epochs=16, eval_every=4, batch_size=512,
-                         learning_rate=0.05, verbose=True)
-    result = train_model(model, dataset, config)
+    # 2. Stage two trains Firzen (BPR batches, alternating TransR step,
+    #    discriminator updates, early stopping) — or loads the artifact.
+    model, result = runner.trained(SPEC, "Firzen")
     print(f"\ntrained {result.epochs_run} epochs "
           f"in {result.train_seconds:.1f}s "
           f"(best epoch: {result.best_epoch + 1})")
     print(f"learned modality importance: { {m: round(b, 3) for m, b in model.beta.items()} }")
 
-    # 3. Evaluate with the all-ranking protocol at K=20.
-    scenario = evaluate_model(model, dataset.split)
+    # 3. Stage three evaluates with the all-ranking protocol at K=20.
+    run = runner.run(SPEC)
     print()
-    print(format_table(scenario_rows("Firzen", "MM+KG", scenario),
+    print(format_table(scenario_rows("Firzen", "MM+KG",
+                                     run.scenario("Firzen")),
                        title="Strict cold-start / warm-start performance"))
+    print(f"result fingerprint: {run.fingerprint}")
 
     # 4. Recommend for one user: cold candidates only.
     import numpy as np

@@ -83,6 +83,18 @@ class Module:
             named[name].data[...] = value
             named[name].bump_version()
 
+    # -- training snapshots (repro.train.snapshot) ---------------------
+    def training_state(self) -> dict:
+        """JSON-serializable training state outside ``state_dict`` and
+        the generic optimizer/RNG capture (see
+        :mod:`repro.train.snapshot`). Override alongside
+        :meth:`load_training_state` for models that carry mutable
+        non-tensor state across epochs."""
+        return {}
+
+    def load_training_state(self, state: dict) -> None:
+        """Restore what :meth:`training_state` captured."""
+
     # -- forward-reuse memo (repro.autograd.forward_cache) -------------
     def memoized(self, key: str, deps: list, compute, rng=None,
                  extra_key=()):

@@ -20,6 +20,20 @@ Commands
     Answer batched top-k queries from a store/checkpoint/fresh model —
     interactive REPL or file-driven — including online ``ingest`` of
     brand-new cold items.
+``run``
+    Execute a declarative experiment spec — a named preset or a JSON
+    spec file — through the resumable, content-addressed experiment
+    pipeline: built dataset, trained checkpoints and evaluation
+    results are cached in the artifact store (``REPRO_ARTIFACTS``,
+    default ``.artifacts``), a killed run resumes bit-exactly from the
+    training stage's snapshot, and ``--stop-after`` halts after a
+    stage (the CI pipeline smoke interrupts after ``train`` and
+    asserts the resumed result fingerprint matches a cold run).
+    ``REPRO_BENCH_EPOCHS`` / ``REPRO_BENCH_SIZE`` (or ``--epochs`` /
+    ``--size``) override the spec.
+``experiments``
+    List the named experiment presets, the registered scenario
+    transforms, and the artifact store's cached stage counts.
 ``bench``
     Training-throughput benchmark (epochs/second) through the
     frozen-graph engine, comparing the precompiled (folded) schedule
@@ -324,6 +338,133 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _resolve_spec(name_or_path: str):
+    from pathlib import Path
+
+    from .experiments import ExperimentSpec, get_preset
+    from .experiments.presets import PRESETS
+    if name_or_path in PRESETS:
+        return get_preset(name_or_path)
+    path = Path(name_or_path)
+    if path.exists():
+        return ExperimentSpec.load(path)
+    raise SystemExit(f"unknown experiment {name_or_path!r}: not a "
+                     f"preset ({', '.join(sorted(PRESETS))}) and not a "
+                     f"spec file")
+
+
+def _run_env_overrides(args) -> tuple[int | None, str | None]:
+    import os
+    epochs = args.epochs
+    if epochs is None and os.environ.get("REPRO_BENCH_EPOCHS"):
+        epochs = int(os.environ["REPRO_BENCH_EPOCHS"])
+    size = args.size
+    if size is None and os.environ.get("REPRO_BENCH_SIZE"):
+        size = os.environ["REPRO_BENCH_SIZE"]
+    return epochs, size
+
+
+def cmd_run(args) -> int:
+    from .baselines import model_family
+    from .experiments import (ArtifactStore, Runner, comparison_rows,
+                              expand_sweep)
+    from .experiments.spec import content_key
+    spec = _resolve_spec(args.spec)
+    epochs, size = _run_env_overrides(args)
+    spec = spec.with_overrides(epochs=epochs, size=size)
+    store = ArtifactStore(args.store) if args.store else None
+    runner = Runner(store, refresh=args.force)
+
+    if spec.sweep:
+        param, _ = spec.sweep
+        rows = []
+        fingerprints = {}
+        for value, child in expand_sweep(spec):
+            run = runner.run(child, stop_after=args.stop_after)
+            if args.stop_after:
+                continue
+            fingerprints[str(value)] = run.fingerprint
+            for name in child.models:
+                metrics = run.results[name]
+                if "cold" in metrics and "warm" in metrics:
+                    result = run.scenario(name)
+                    rows.append({
+                        param: value, "Method": name,
+                        "Cold R@20": round(100 * result.cold.recall, 2),
+                        "Cold M@20": round(100 * result.cold.mrr, 2),
+                        "Warm R@20": round(100 * result.warm.recall, 2),
+                        "HM M@20": round(100 * result.hm.mrr, 2),
+                    })
+                else:  # non-standard eval scenario: one row per result
+                    for scenario_name, metric in metrics.items():
+                        row = {param: value, "Method": name,
+                               "Scenario": scenario_name}
+                        row.update(metric.as_percent_row())
+                        rows.append(row)
+        if args.stop_after:
+            print(f"stopped after the {args.stop_after} stage; artifacts "
+                  f"are in {runner.store.root}")
+            return 0
+        print(format_table(rows, title=f"{spec.name}: {param} sweep"))
+        fingerprint = content_key(fingerprints)
+    else:
+        run = runner.run(spec, stop_after=args.stop_after)
+        if args.stop_after:
+            print(f"stopped after the {args.stop_after} stage; artifacts "
+                  f"are in {runner.store.root}")
+            return 0
+        standard = [m for m in spec.models
+                    if "cold" in run.results[m] and "warm" in run.results[m]]
+        if standard:
+            print(format_table(comparison_rows(runner, spec, standard),
+                               title=spec.name))
+        for name in spec.models:
+            if name in standard:
+                continue
+            rows = []
+            for scenario_name, metric in run.results[name].items():
+                row = {"Scenario": scenario_name, "Method": name,
+                       "Type": model_family(name)}
+                row.update(metric.as_percent_row())
+                rows.append(row)
+            print(format_table(rows, title=f"{spec.name}: {name}"))
+        fingerprint = run.fingerprint
+    print(f"result fingerprint: {fingerprint}")
+    if args.fingerprint_out:
+        from pathlib import Path
+        Path(args.fingerprint_out).write_text(fingerprint + "\n")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments import (ArtifactStore, available_presets,
+                              available_scenarios, default_store)
+    store = ArtifactStore(args.store) if args.store else default_store()
+    if args.action == "list":
+        rows = [{
+            "Name": name,
+            "Dataset": f"{spec.dataset}/{spec.size}",
+            "Models": len(spec.models),
+            "Epochs": spec.train.epochs,
+            "Scenarios": ", ".join(s.name for s in spec.scenarios) or "-",
+            "Description": spec.description,
+        } for name, spec in sorted(available_presets().items())]
+        print(format_table(rows, title="Experiment presets"))
+        counts = {stage: len(store.entries(stage))
+                  for stage in ("dataset", "train", "eval")}
+        print(f"\nartifact store {store.root}: "
+              + ", ".join(f"{n} {stage}" for stage, n in counts.items()))
+    else:  # scenarios
+        rows = [{
+            "Scenario": s.name,
+            "Stage": s.stage,
+            "Description": s.description,
+        } for s in sorted(available_scenarios().values(),
+                          key=lambda s: (s.stage, s.name))]
+        print(format_table(rows, title="Registered scenario transforms"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Firzen reproduction CLI")
@@ -377,6 +518,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--block-size", type=int, default=1024)
     _add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_run = sub.add_parser(
+        "run", help="execute a declarative experiment spec through the "
+                    "resumable artifact-store pipeline")
+    p_run.add_argument("spec", help="preset name (see 'experiments "
+                                    "list') or path to a JSON spec file")
+    p_run.add_argument("--epochs", type=int, default=None,
+                       help="override the spec's training epochs "
+                            "(default: REPRO_BENCH_EPOCHS or the spec)")
+    p_run.add_argument("--size", default=None,
+                       choices=("tiny", "small", "medium"),
+                       help="override the spec's dataset size preset "
+                            "(default: REPRO_BENCH_SIZE or the spec)")
+    p_run.add_argument("--store", default=None,
+                       help="artifact store root (default: "
+                            "REPRO_ARTIFACTS or .artifacts)")
+    p_run.add_argument("--force", action="store_true",
+                       help="ignore (and overwrite) existing artifacts")
+    p_run.add_argument("--stop-after", default=None,
+                       choices=("dataset", "train"),
+                       help="halt after this stage; a later run resumes "
+                            "from the stored artifacts")
+    p_run.add_argument("--fingerprint-out", default=None,
+                       help="also write the result fingerprint to this "
+                            "file (the CI parity gate compares two runs)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_experiments = sub.add_parser(
+        "experiments", help="list experiment presets, scenario "
+                            "transforms, and artifact-store status")
+    p_experiments.add_argument("action", nargs="?", default="list",
+                               choices=("list", "scenarios"))
+    p_experiments.add_argument("--store", default=None,
+                               help="artifact store root to report on")
+    p_experiments.set_defaults(func=cmd_experiments)
 
     p_bench = sub.add_parser(
         "bench", help="training-throughput benchmark (epochs/second)")

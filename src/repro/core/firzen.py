@@ -305,3 +305,15 @@ class FirzenModel(Recommender):
             if key in state:
                 self.fusion.beta[modality] = float(state.pop(key))
         super().load_state_dict(state)
+
+    def training_state(self):
+        # The per-modality discriminator scores feed the *next* beta
+        # momentum update when a discriminator phase is skipped, so a
+        # resumed run must see the same values an uninterrupted one
+        # would.
+        return {"last_disc_scores": dict(self._last_disc_scores)}
+
+    def load_training_state(self, state):
+        self._last_disc_scores.update(
+            {m: float(v)
+             for m, v in state.get("last_disc_scores", {}).items()})

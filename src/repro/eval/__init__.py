@@ -13,7 +13,7 @@ from .metrics import (
     recall_at_k,
 )
 from .reporting import (EXPERIMENT_INDEX, ReportStatus, build_report,
-                        scan_results, write_report)
+                        scan_results, write_report, write_text_result)
 from .protocol import (
     ScenarioResult,
     evaluate_at_ks,
@@ -47,4 +47,5 @@ __all__ = [
     "build_report",
     "scan_results",
     "write_report",
+    "write_text_result",
 ]

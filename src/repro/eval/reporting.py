@@ -94,11 +94,23 @@ def build_report(results_dir: str | Path,
     return "\n".join(lines)
 
 
+def write_text_result(path: str | Path, text: str) -> Path:
+    """The single entry point every rendered result goes through.
+
+    Guarantees parent directories exist and the file ends with exactly
+    one trailing newline — the benchmark harnesses, the aggregate
+    report, and the experiment runner's report layer all write results
+    here, so the on-disk byte format cannot drift between them.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text.rstrip("\n") + "\n")
+    return path
+
+
 def write_report(results_dir: str | Path, output_path: str | Path,
                  title: str = "Firzen reproduction — results") -> ReportStatus:
     """Build and write the aggregate report; returns the scan status."""
     report = build_report(results_dir, title=title)
-    output_path = Path(output_path)
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(report + "\n")
+    write_text_result(output_path, report)
     return scan_results(results_dir)

@@ -1,0 +1,50 @@
+"""Reporting layer: render the paper-style tables from stored artifacts.
+
+The benchmark harnesses (and the CLI) build their result tables from
+the runner's eval artifacts through these helpers, so a table can be
+re-rendered at any time without re-running a single model — and a table
+rendered from artifacts is byte-identical to one rendered from a live
+evaluation (metric floats round-trip exactly through the JSON
+artifacts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..baselines import model_family
+from ..eval.reporting import write_text_result
+from ..utils.tables import format_table
+from .runner import Runner
+from .spec import ExperimentSpec
+
+
+def comparison_rows(runner: Runner, spec: ExperimentSpec,
+                    models=None) -> list[dict]:
+    """Cold/Warm/HM rows for a model roster (Table II/III layout)."""
+    models = list(models if models is not None else spec.models)
+    rows = {"Cold": [], "Warm": [], "HM": []}
+    for name in models:
+        metrics = runner.evaluation(spec, name)
+        from ..eval.protocol import ScenarioResult
+        result = ScenarioResult(cold=metrics["cold"],
+                                warm=metrics["warm"])
+        for setting, metric in (("Cold", result.cold),
+                                ("Warm", result.warm),
+                                ("HM", result.hm)):
+            row = {"Setting": setting, "Type": model_family(name),
+                   "Method": name}
+            row.update(metric.as_percent_row())
+            rows[setting].append(row)
+    return rows["Cold"] + rows["Warm"] + rows["HM"]
+
+
+def render(rows: list[dict], title: str) -> str:
+    return format_table(rows, title=title)
+
+
+def write_result(results_dir: str | Path, filename: str,
+                 text: str) -> Path:
+    """Write one rendered table into the results directory (exactly one
+    trailing newline, parents created)."""
+    return write_text_result(Path(results_dir) / filename, text)

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk artifact store.
+
+Layout: ``<root>/<stage>/<key>/`` holds the files of one committed
+artifact plus its ``meta.json``. Commits are atomic — files are staged
+into a sibling temp directory and ``os.replace``-d into place — so a
+killed run never leaves a half-written artifact behind; at worst it
+leaves an uncommitted temp directory that the next commit sweeps.
+
+Stage names used by the runner: ``dataset`` (built benchmark archive),
+``train`` (trained checkpoint + training record; an adjacent
+``<key>.partial/`` directory holds the in-progress epoch snapshot a
+killed training run resumes from), ``eval`` (metric artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+#: environment variable selecting the store root (CI caches this dir)
+ROOT_ENV = "REPRO_ARTIFACTS"
+DEFAULT_ROOT = ".artifacts"
+META = "meta.json"
+
+
+def default_store() -> "ArtifactStore":
+    return ArtifactStore(os.environ.get(ROOT_ENV, DEFAULT_ROOT))
+
+
+class ArtifactStore:
+    """Filesystem-backed content-addressed artifact directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- lookup ----------------------------------------------------------
+    def dir_of(self, stage: str, key: str) -> Path:
+        return self.root / stage / key
+
+    def get(self, stage: str, key: str) -> Path | None:
+        """Committed artifact directory, or None."""
+        path = self.dir_of(stage, key)
+        if (path / META).exists():
+            return path
+        return None
+
+    def get_meta(self, stage: str, key: str) -> dict | None:
+        path = self.get(stage, key)
+        if path is None:
+            return None
+        return json.loads((path / META).read_text())
+
+    # -- commit ----------------------------------------------------------
+    def stage_dir(self, stage: str, key: str) -> Path:
+        """A private temp directory to assemble an artifact in; pass it
+        to :meth:`commit` when complete."""
+        parent = self.root / stage
+        parent.mkdir(parents=True, exist_ok=True)
+        return Path(tempfile.mkdtemp(prefix=f"{key}.tmp-", dir=parent))
+
+    def commit(self, stage: str, key: str, staged: Path,
+               meta: dict, overwrite: bool = False) -> Path:
+        """Atomically publish a staged directory as ``<stage>/<key>``.
+
+        ``meta.json`` is written last inside the staged dir, then the
+        whole directory is renamed into place. If a concurrent process
+        committed the same key first, the staged copy is discarded and
+        the existing artifact wins (content-addressed keys make the two
+        interchangeable) — unless ``overwrite`` forces replacement.
+        """
+        staged = Path(staged)
+        (staged / META).write_text(json.dumps(meta, indent=2,
+                                              sort_keys=True) + "\n")
+        final = self.dir_of(stage, key)
+        if overwrite:
+            shutil.rmtree(final, ignore_errors=True)
+        try:
+            os.replace(staged, final)
+        except OSError:
+            if (final / META).exists():
+                shutil.rmtree(staged, ignore_errors=True)
+            else:
+                raise
+        return final
+
+    def put_json(self, stage: str, key: str, payload: dict,
+                 meta: dict | None = None,
+                 overwrite: bool = False) -> Path:
+        """Commit a small JSON artifact (the eval stage)."""
+        staged = self.stage_dir(stage, key)
+        (staged / "artifact.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return self.commit(stage, key, staged, meta or {}, overwrite)
+
+    def get_json(self, stage: str, key: str) -> dict | None:
+        path = self.get(stage, key)
+        if path is None:
+            return None
+        return json.loads((path / "artifact.json").read_text())
+
+    # -- in-progress training state --------------------------------------
+    def partial_dir(self, stage: str, key: str) -> Path:
+        """Directory for resumable in-progress state (not a committed
+        artifact; removed when the real artifact commits)."""
+        path = self.root / stage / f"{key}.partial"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def clear_partial(self, stage: str, key: str) -> None:
+        shutil.rmtree(self.root / stage / f"{key}.partial",
+                      ignore_errors=True)
+
+    # -- maintenance ------------------------------------------------------
+    def entries(self, stage: str) -> list[str]:
+        parent = self.root / stage
+        if not parent.is_dir():
+            return []
+        return sorted(p.name for p in parent.iterdir()
+                      if (p / META).exists())
+
+    def remove(self, stage: str, key: str) -> None:
+        shutil.rmtree(self.dir_of(stage, key), ignore_errors=True)
+        self.clear_partial(stage, key)

@@ -6,9 +6,14 @@ from .early_stopping import EarlyStopping
 from .sampler import BPRSampler
 from .schedulers import (ConstantLR, CosineAnnealingLR, LRScheduler, StepLR,
                          WarmupLR, build_scheduler)
-from .trainer import TrainConfig, TrainResult, train_model
+from .snapshot import (load_training_snapshot, restore_training_snapshot,
+                       save_training_snapshot)
+from .trainer import (LR_SCHEDULES, MONITORS, TrainConfig, TrainResult,
+                      train_model)
 
 __all__ = ["EarlyStopping", "BPRSampler", "TrainConfig", "TrainResult",
            "train_model", "save_checkpoint", "load_checkpoint",
            "peek_metadata", "LRScheduler", "ConstantLR", "StepLR",
-           "CosineAnnealingLR", "WarmupLR", "build_scheduler"]
+           "CosineAnnealingLR", "WarmupLR", "build_scheduler",
+           "save_training_snapshot", "load_training_snapshot",
+           "restore_training_snapshot", "MONITORS", "LR_SCHEDULES"]

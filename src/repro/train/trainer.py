@@ -3,12 +3,20 @@
 Implements the paper's optimization scheme: Adam, BPR batches with uniform
 negative sampling, optional alternating auxiliary step (KG representation
 loss), validation-based early stopping with best-state restoration.
+
+Training is resumable: pass ``snapshot_path`` and the loop writes a full
+training-state snapshot (:mod:`repro.train.snapshot`) at epoch
+boundaries; a later call with the same arguments restores it and
+continues the run **bit-exactly** — parameters, optimizer moments, RNG
+positions, and every downstream metric are identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -17,6 +25,11 @@ from ..data.datasets import RecDataset
 from ..eval.protocol import evaluate_model
 from .early_stopping import EarlyStopping
 from .sampler import BPRSampler
+
+#: allowed values of :attr:`TrainConfig.monitor`
+MONITORS = ("hm_recall", "warm_recall", "cold_recall")
+#: allowed values of :attr:`TrainConfig.lr_schedule`
+LR_SCHEDULES = ("constant", "step", "cosine", "warmup-cosine")
 
 
 @dataclass
@@ -35,6 +48,16 @@ class TrainConfig:
     lr_schedule: str = "constant"  # constant | step | cosine | warmup-cosine
     seed: int = 0
     verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.monitor not in MONITORS:
+            raise ValueError(
+                f"unknown monitor {self.monitor!r}; "
+                f"allowed values: {', '.join(MONITORS)}")
+        if self.lr_schedule not in LR_SCHEDULES:
+            raise ValueError(
+                f"unknown lr_schedule {self.lr_schedule!r}; "
+                f"allowed values: {', '.join(LR_SCHEDULES)}")
 
 
 @dataclass
@@ -64,8 +87,27 @@ def _monitor_value(model, dataset: RecDataset, config: TrainConfig) -> float:
 
 
 def train_model(model, dataset: RecDataset,
-                config: TrainConfig | None = None) -> TrainResult:
-    """Train ``model`` on ``dataset`` and restore its best validation state."""
+                config: TrainConfig | None = None, *,
+                snapshot_path: str | Path | None = None,
+                snapshot_every: int = 1,
+                resume: bool = True,
+                epoch_hook=None) -> TrainResult:
+    """Train ``model`` on ``dataset`` and restore its best validation state.
+
+    Parameters
+    ----------
+    snapshot_path:
+        Where to write the per-epoch training-state snapshot. When the
+        file already exists (and ``resume`` is true) the run continues
+        from it instead of starting over; the resumed trajectory is
+        bit-identical to an uninterrupted run.
+    snapshot_every:
+        Snapshot cadence in epochs (the final epoch is always captured).
+    epoch_hook:
+        Optional ``hook(epoch, model)`` called after each epoch's
+        snapshot point; exceptions propagate (tests use this to simulate
+        a kill).
+    """
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
     sampler = BPRSampler(dataset.split.train, dataset.num_items,
@@ -78,9 +120,22 @@ def train_model(model, dataset: RecDataset,
     stopper = EarlyStopping(patience=config.patience)
     result = TrainResult()
     best_state = None
+    start_epoch = 0
 
+    if snapshot_path is not None and resume and Path(snapshot_path).exists():
+        from .snapshot import load_training_snapshot, \
+            restore_training_snapshot
+        snapshot = load_training_snapshot(snapshot_path)
+        best_state = restore_training_snapshot(
+            snapshot, model, optimizer=optimizer, sampler_rng=rng,
+            stopper=stopper, scheduler=scheduler, result=result)
+        start_epoch = snapshot.epoch + 1
+
+    base_seconds = result.train_seconds
     start = time.perf_counter()
-    for epoch in range(config.epochs):
+    for epoch in range(start_epoch, config.epochs):
+        if stopper.should_stop:  # resumed into an already-stopped run
+            break
         model.train()
         model.invalidate()
         epoch_loss = 0.0
@@ -114,8 +169,21 @@ def train_model(model, dataset: RecDataset,
                       f"loss={result.losses[-1]:.4f} val={value:.4f}")
             if stopper.update(value, epoch):
                 best_state = model.state_dict()
-            if stopper.should_stop:
-                break
+
+        if snapshot_path is not None and (
+                (epoch + 1) % snapshot_every == 0
+                or epoch == config.epochs - 1 or stopper.should_stop):
+            from .snapshot import save_training_snapshot
+            result.train_seconds = base_seconds + (
+                time.perf_counter() - start)
+            save_training_snapshot(
+                snapshot_path, model, optimizer=optimizer,
+                sampler_rng=rng, stopper=stopper, scheduler=scheduler,
+                result=result, epoch=epoch, best_state=best_state)
+        if epoch_hook is not None:
+            epoch_hook(epoch, model)
+        if stopper.should_stop:
+            break
 
     # Training is over: detach the lazy-update hooks so parameters go
     # back to plain tensors (flushes any remaining deferred rows).
@@ -123,7 +191,7 @@ def train_model(model, dataset: RecDataset,
     if best_state is not None:
         model.load_state_dict(best_state)
     result.best_epoch = stopper.best_epoch
-    result.train_seconds = time.perf_counter() - start
+    result.train_seconds = base_seconds + (time.perf_counter() - start)
     model.eval()
     model.invalidate()
     return result

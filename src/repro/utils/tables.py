@@ -3,6 +3,16 @@
 from __future__ import annotations
 
 
+def format_float(value: float, decimals: int = 2) -> str:
+    """The one float-to-cell formatting rule every table shares.
+
+    Fixed-point with a fixed decimal count and no locale dependence, so
+    a table rendered from stored artifacts is byte-identical to one
+    rendered from a live run.
+    """
+    return f"{value:.{decimals}f}"
+
+
 def format_table(rows: list[dict], title: str | None = None) -> str:
     """Render a list of dict rows as an aligned text table.
 
@@ -19,7 +29,7 @@ def format_table(rows: list[dict], title: str | None = None) -> str:
 
     def _fmt(value) -> str:
         if isinstance(value, float):
-            return f"{value:.2f}"
+            return format_float(value)
         if value is None:
             return ""
         return str(value)

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from repro.eval.reporting import (EXPERIMENT_INDEX, build_report,
-                                  scan_results, write_report)
+                                  scan_results, write_report,
+                                  write_text_result)
 
 
 def _populate(tmp_path, experiment_ids):
@@ -54,6 +55,18 @@ class TestReport:
         assert out.exists()
         assert "content of table1" in out.read_text()
         assert "table1" in status.present
+
+    def test_write_text_result_guarantees_one_trailing_newline(
+            self, tmp_path):
+        """The single result-writing entry point (shared by the
+        benchmark harnesses, the aggregate report, and the experiment
+        runner's report layer) normalizes the file tail."""
+        for text in ("table", "table\n", "table\n\n\n"):
+            path = write_text_result(tmp_path / "deep" / "t.txt", text)
+            assert path.read_text() == "table\n"
+        # interior newlines (multi-table results files) are preserved
+        path = write_text_result(tmp_path / "multi.txt", "a\n\nb\n")
+        assert path.read_text() == "a\n\nb\n"
 
     def test_index_covers_every_paper_artifact(self):
         references = " ".join(ref for _, ref in EXPERIMENT_INDEX.values())

@@ -1,0 +1,227 @@
+"""Checkpoint save -> kill -> resume bit-exactness (ISSUE 5 satellite).
+
+The contract: a training run killed at any epoch boundary and resumed
+from its snapshot produces *bit-identical* state to an uninterrupted
+run — trained parameters, Adam moments (trainer's and the models'
+internal alternating optimizers), lazy-row deferred bookkeeping, and
+the position of every RNG stream. Verified for KGAT and Firzen, the
+two heterogeneous models with internal optimizers and multiple RNG
+streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_model
+from repro.train import TrainConfig, train_model
+from repro.train.snapshot import (collect_optimizers, collect_rng_streams,
+                                  load_training_snapshot)
+
+MODELS = ("KGAT", "Firzen")
+
+
+class _Killed(Exception):
+    pass
+
+
+def _config(epochs: int = 5) -> TrainConfig:
+    return TrainConfig(epochs=epochs, eval_every=2, batch_size=64,
+                       learning_rate=0.05, patience=10)
+
+
+def _fresh(name, dataset):
+    return create_model(name, dataset, embedding_dim=16, seed=0)
+
+
+def _assert_state_equal(left: dict, right: dict, context: str) -> None:
+    assert set(left) == set(right), context
+    for key in left:
+        assert np.array_equal(left[key], right[key]), (context, key)
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_kill_resume_bit_exact(model_name, tiny_dataset, tmp_path):
+    config = _config()
+
+    # Reference: uninterrupted run without any snapshotting.
+    reference = _fresh(model_name, tiny_dataset)
+    ref_result = train_model(reference, tiny_dataset, config)
+
+    # Uninterrupted run WITH per-epoch snapshots: snapshotting (which
+    # flushes deferred lazy-row updates early) must not perturb the
+    # trajectory.
+    snapshotted = _fresh(model_name, tiny_dataset)
+    snap_result = train_model(snapshotted, tiny_dataset, config,
+                              snapshot_path=tmp_path / "full.npz")
+    _assert_state_equal(reference.state_dict(), snapshotted.state_dict(),
+                        "snapshotting changed the trajectory")
+    assert ref_result.losses == snap_result.losses
+
+    # Killed after epoch 1, resumed from the snapshot.
+    killed = _fresh(model_name, tiny_dataset)
+
+    def kill_hook(epoch, model):
+        if epoch == 1:
+            raise _Killed()
+
+    with pytest.raises(_Killed):
+        train_model(killed, tiny_dataset, config,
+                    snapshot_path=tmp_path / "killed.npz",
+                    epoch_hook=kill_hook)
+
+    resumed = _fresh(model_name, tiny_dataset)
+    res_result = train_model(resumed, tiny_dataset, config,
+                             snapshot_path=tmp_path / "killed.npz")
+
+    # 1. Trained parameters (and model buffers like Firzen's betas).
+    _assert_state_equal(reference.state_dict(), resumed.state_dict(),
+                        "resumed parameters diverged")
+    # 2. Loss curve and validation history.
+    assert res_result.losses == ref_result.losses
+    assert res_result.val_history == ref_result.val_history
+    assert res_result.best_epoch == ref_result.best_epoch
+    assert res_result.epochs_run == ref_result.epochs_run
+
+    # 3. Adam moments, lazy-row bookkeeping (flushed state), RNG
+    #    positions: the final snapshots of the two trajectories must be
+    #    bit-identical array-for-array and stream-for-stream.
+    uninterrupted = load_training_snapshot(tmp_path / "full.npz")
+    killed_resumed = load_training_snapshot(tmp_path / "killed.npz")
+    assert uninterrupted.header["epoch"] == killed_resumed.header["epoch"]
+    assert uninterrupted.header["rngs"] == killed_resumed.header["rngs"]
+    assert uninterrupted.header["sampler_rng"] == \
+        killed_resumed.header["sampler_rng"]
+    assert uninterrupted.header["optimizers"] == \
+        killed_resumed.header["optimizers"]
+    assert uninterrupted.header["training_state"] == \
+        killed_resumed.header["training_state"]
+    assert uninterrupted.header["stopper"] == \
+        killed_resumed.header["stopper"]
+    _assert_state_equal(uninterrupted.arrays, killed_resumed.arrays,
+                        "snapshot arrays diverged")
+
+    # 4. Post-training evaluation is identical too.
+    from repro.eval import evaluate_model
+    ref_eval = evaluate_model(reference, tiny_dataset.split)
+    res_eval = evaluate_model(resumed, tiny_dataset.split)
+    assert ref_eval.cold == res_eval.cold
+    assert ref_eval.warm == res_eval.warm
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_kill_at_every_epoch_boundary(model_name, tiny_dataset, tmp_path):
+    """Killing after *any* completed epoch resumes to the same bits."""
+    config = _config(epochs=4)
+    reference = _fresh(model_name, tiny_dataset)
+    train_model(reference, tiny_dataset, config)
+    expected = reference.state_dict()
+
+    for kill_epoch in range(3):
+        snapshot = tmp_path / f"kill{kill_epoch}.npz"
+
+        def kill_hook(epoch, model, _stop=kill_epoch):
+            if epoch == _stop:
+                raise _Killed()
+
+        victim = _fresh(model_name, tiny_dataset)
+        with pytest.raises(_Killed):
+            train_model(victim, tiny_dataset, config,
+                        snapshot_path=snapshot, epoch_hook=kill_hook)
+        resumed = _fresh(model_name, tiny_dataset)
+        train_model(resumed, tiny_dataset, config, snapshot_path=snapshot)
+        _assert_state_equal(expected, resumed.state_dict(),
+                            f"killed after epoch {kill_epoch}")
+
+
+def test_snapshot_captures_every_stream_and_optimizer(tiny_dataset):
+    """The generic object-graph walk finds Firzen's internal optimizers
+    and all its RNG streams (regression guard: a new stream that the
+    snapshot misses would silently break resume bit-exactness)."""
+    model = _fresh("Firzen", tiny_dataset)
+    optimizers = collect_optimizers(model)
+    assert "._kg_optimizer" in optimizers
+    assert "._disc_optimizer" in optimizers
+    streams = collect_rng_streams(model)
+    for expected in ("._kg_rng", "._disc_rng", ".rng"):
+        assert expected in streams, sorted(streams)
+    # dropout + gradient-penalty streams live deeper in the graph
+    assert any("_drop_rng" in path for path in streams), sorted(streams)
+    assert any("_fd_rng" in path for path in streams), sorted(streams)
+
+
+def test_training_state_array_values_roundtrip(tiny_dataset, tmp_path):
+    """Models may put ndarrays into training_state() (the dynamic-graph
+    ablation carries its graph-rebuild features this way); they must
+    survive the snapshot bit-for-bit and reach load_training_state on
+    resume."""
+    from repro.baselines.bpr import BPRModel
+
+    class ArrayStateModel(BPRModel):
+        _blob = None
+        restored = None
+
+        def on_epoch_end(self, epoch):
+            super().on_epoch_end(epoch)
+            self._blob = np.full((2, 3), float(epoch))
+
+        def training_state(self):
+            state = super().training_state()
+            if self._blob is not None:
+                state["blob"] = self._blob
+            return state
+
+        def load_training_state(self, state):
+            super().load_training_state(
+                {k: v for k, v in state.items() if k != "blob"})
+            if "blob" in state:
+                self.restored = state["blob"]
+                self._blob = state["blob"]
+
+    config = _config(epochs=3)
+
+    def fresh():
+        return ArrayStateModel(tiny_dataset, 16, np.random.default_rng(0))
+
+    reference = fresh()
+    train_model(reference, tiny_dataset, config)
+
+    victim = fresh()
+
+    def kill_hook(epoch, model):
+        if epoch == 1:
+            raise _Killed()
+
+    with pytest.raises(_Killed):
+        train_model(victim, tiny_dataset, config,
+                    snapshot_path=tmp_path / "a.npz", epoch_hook=kill_hook)
+    resumed = fresh()
+    train_model(resumed, tiny_dataset, config,
+                snapshot_path=tmp_path / "a.npz")
+    assert isinstance(resumed.restored, np.ndarray)
+    assert np.array_equal(resumed.restored, np.full((2, 3), 1.0))
+    assert np.array_equal(resumed._blob, reference._blob)
+    _assert_state_equal(reference.state_dict(), resumed.state_dict(),
+                        "array training state resume")
+
+
+def test_early_stop_state_survives_resume(tiny_dataset, tmp_path):
+    """A run killed after early stopping triggered does not resume into
+    extra epochs."""
+    config = TrainConfig(epochs=12, eval_every=1, batch_size=64,
+                         learning_rate=0.05, patience=1)
+    reference = _fresh("BPR", tiny_dataset)
+    ref_result = train_model(reference, tiny_dataset, config)
+    if ref_result.epochs_run == config.epochs:
+        pytest.skip("early stopping did not trigger on this substrate")
+
+    resumed = _fresh("BPR", tiny_dataset)
+    snapshot = tmp_path / "stop.npz"
+    train_model(resumed, tiny_dataset, config, snapshot_path=snapshot)
+    again = _fresh("BPR", tiny_dataset)
+    again_result = train_model(again, tiny_dataset, config,
+                               snapshot_path=snapshot)
+    assert again_result.epochs_run == ref_result.epochs_run
+    _assert_state_equal(reference.state_dict(), again.state_dict(),
+                        "early-stopped resume")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.baselines import create_model
 from repro.train import TrainConfig, train_model
@@ -59,3 +60,24 @@ class TestTraining:
                 model, tiny_dataset,
                 quick_config(epochs=2, eval_every=1, monitor=monitor))
             assert result.epochs_run >= 1
+
+
+class TestConfigValidation:
+    """Unknown knob values fail at construction — they used to fall
+    through silently to default behavior."""
+
+    def test_unknown_monitor_rejected(self):
+        with pytest.raises(ValueError, match=r"hm_recall, warm_recall, "
+                                             r"cold_recall"):
+            TrainConfig(monitor="hm_reca11")
+
+    def test_unknown_lr_schedule_rejected(self):
+        with pytest.raises(ValueError, match=r"constant, step, cosine, "
+                                             r"warmup-cosine"):
+            TrainConfig(lr_schedule="linear")
+
+    def test_valid_values_accepted(self):
+        for monitor in ("hm_recall", "warm_recall", "cold_recall"):
+            TrainConfig(monitor=monitor)
+        for schedule in ("constant", "step", "cosine", "warmup-cosine"):
+            TrainConfig(lr_schedule=schedule)
