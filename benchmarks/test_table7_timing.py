@@ -20,6 +20,14 @@ fixture where most embedding rows never receive a gradient — epochs/
 second plus the per-phase training-step breakdown. Both modes train
 bit-identical models; the dense column is the schedule this repo ran
 before the row-sparse pipeline landed.
+
+Tape addendum: step-tape replay (``REPRO_TAPE=1``, the default since
+ISSUE 6) vs the per-step dict sweep, same fixture. The honest result:
+the backward sweep's bookkeeping was already a small slice of a step —
+real-model graphs are tens-to-hundreds of nodes of numpy-heavy
+closures — so taping is roughly neutral here (within measurement
+noise); the wins it was hoped to unlock only materialize on deep
+cheap-op graphs. The assertions gate on "no regression", not a gain.
 """
 
 from _shared import get_dataset, get_trained_model, write_result
@@ -29,6 +37,7 @@ from repro.analysis.timing import (breakdown_rows, catalog_dominated_dataset,
                                    measure_ranking_throughput,
                                    measure_sparse_training_throughput,
                                    measure_step_breakdown,
+                                   measure_tape_training_throughput,
                                    measure_training_throughput)
 from repro.train import TrainConfig
 from repro.utils.tables import format_table
@@ -99,6 +108,8 @@ def test_table7_timing(benchmark):
         catalog, model_names=("BPR",), epochs=12, embedding_dim=64)
     breakdown = measure_step_breakdown(catalog, "BPR", epochs=4,
                                        embedding_dim=64)
+    tape_rows = measure_tape_training_throughput(
+        catalog, model_names=("BPR",), epochs=12, embedding_dim=64)
 
     forward_rows = measure_forward_throughput(
         dataset, model_names=("Firzen", "KGAT"), epochs=8, repeats=3)
@@ -137,7 +148,19 @@ def test_table7_timing(benchmark):
                        "Optimizer/gradient addendum: per-phase "
                        "training-step cost on the catalog-dominated "
                        "fixture (step includes every replay of "
-                       "deferred row updates, wherever triggered)")
+                       "deferred row updates, wherever triggered; "
+                       "taped column: REPRO_TAPE=1 plan replay, "
+                       "interleaved rotated-order rounds, best of 3)")
+        + "\n\n"
+        + format_table([row.as_row() for row in tape_rows],
+                       "Tape addendum: step-tape replay vs per-step "
+                       "dict sweep, whole-run epochs/second on the "
+                       "catalog-dominated fixture (bit-identical "
+                       "models; ISSUE 6 hoped for >=1.2x here — the "
+                       "honest measurement is ~1.0x/neutral, because "
+                       "real-model backward time is numpy closure "
+                       "work, not sweep bookkeeping; see the per-"
+                       "phase table's Tape speedup column)")
         + "\n\n"
         + format_table(forward_table,
                        "Forward addendum: fused relation-batched "
@@ -172,12 +195,26 @@ def test_table7_timing(benchmark):
     assert sparse_bd.step_ms < dense_bd.step_ms
     assert sparse_bd.backward_ms < dense_bd.backward_ms
     assert sparse_bd.clip_ms < dense_bd.clip_ms
-    # PR 3's forward-phase regression is closed: with replay attributed
-    # to the step phase (where that work logically belongs), the sparse
-    # forward is no slower than the dense forward — the reference
-    # machine records ~1.3x faster; 1.05 is the noise-tolerant floor
-    # (same convention as the 1.5 floor on the ~2.3x sparse speedup).
-    assert sparse_bd.forward_ms <= 1.05 * dense_bd.forward_ms
+    # The sparse forward pays a real ~10-15% for lazy-gather
+    # bookkeeping (PR 4's "no slower than dense" reading came from the
+    # old fixed measurement order, which handed the first-measured mode
+    # an undecayed CPU clock; the interleaved rotated-order rounds that
+    # landed with the tape work cancel that bias). The floor bounds the
+    # bookkeeping cost so it cannot silently grow — the sparse *total*
+    # still wins ~2.5x, which the assertions above gate directly.
+    assert sparse_bd.forward_ms <= 1.25 * dense_bd.forward_ms
+
+    # Step-tape replay: bit-identical by contract and roughly neutral
+    # on throughput for real models (the ISSUE 6 target of >=1.2x did
+    # not survive honest interleaved measurement — see the module
+    # docstring). Gate on no-regression with the usual noise margin,
+    # and on the planner actually replaying rather than re-tracing.
+    assert tape_rows[0].speedup >= 0.85
+    taped_bd = breakdown["taped"]
+    assert taped_bd.total_ms <= 1.15 * sparse_bd.total_ms
+    stats = taped_bd.tape_stats
+    assert stats is not None and stats["fallbacks"] == 0
+    assert stats["replays"] > stats["traces"]
 
     # The fused relation-batched kernels + memo must never regress
     # below the legacy per-relation path (both train bit-identical

@@ -15,14 +15,19 @@ Firzen variants that consume increasing feature sets: BA only, +KA, +VA,
   (:func:`measure_step_breakdown`) and epochs/second on a
   catalog-dominated fixture (:func:`measure_sparse_training_throughput`
   over :func:`catalog_dominated_dataset`), both training bit-identical
-  models in either mode.
+  models in either mode;
+* step tape: the trace-once/replay plan (:mod:`repro.engine.plan`,
+  ``REPRO_TAPE``) vs the per-step dict sweep — a ``taped`` mode in the
+  step breakdown and epochs/second via
+  :func:`measure_tape_training_throughput`, again training
+  bit-identical models in either mode.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +43,7 @@ from ..data import build_dataset
 from ..data.datasets import RecDataset
 from ..data.splits import ColdStartSplit
 from ..data.world import WorldConfig
+from ..engine.plan import tape_mode as _tape_mode
 from ..serve.ranker import BatchRanker, interactions_to_csr
 from ..train.sampler import BPRSampler
 from ..train.trainer import TrainConfig, train_model
@@ -408,7 +414,7 @@ class StepPhaseBreakdown:
     """
 
     model: str
-    mode: str  # "sparse" | "dense"
+    mode: str  # "taped" | "sparse" | "dense"
     steps: int
     sample_ms: float
     forward_ms: float
@@ -416,6 +422,8 @@ class StepPhaseBreakdown:
     clip_ms: float
     step_ms: float
     extra_ms: float = 0.0
+    #: step-plan trace/replay counters; only the ``taped`` mode has them
+    tape_stats: dict | None = None
 
     PHASES = ("sample", "forward", "backward", "clip", "step", "extra")
 
@@ -432,20 +440,39 @@ def measure_step_breakdown(dataset: RecDataset, model_name: str,
                            epochs: int = 4, batch_size: int = 512,
                            learning_rate: float = 0.05,
                            embedding_dim: int = 32, seed: int = 0,
-                           grad_clip: float = 10.0,
+                           grad_clip: float = 10.0, repeats: int = 3,
                            **model_kwargs) -> dict[str, StepPhaseBreakdown]:
-    """Time each training-step phase with sparse gradients on and off.
+    """Time each training-step phase in three gradient modes.
 
     Runs the trainer's exact inner loop (sample / forward / backward /
     clip / step) phase-by-phase under a wall clock, one full training
     run per mode from the same seed, and returns
-    ``{"sparse": ..., "dense": ...}``. Both runs do identical numerical
-    work — the bit-reproducibility contract — so the per-phase deltas
-    are pure representation cost.
+    ``{"taped": ..., "sparse": ..., "dense": ...}``:
+
+    * ``taped`` — row-sparse gradients plus the step tape
+      (:class:`repro.engine.plan.StepPlanner`): the shipped default;
+    * ``sparse`` — row-sparse gradients, per-step dict sweep;
+    * ``dense`` — the historical dense schedule.
+
+    All runs do identical numerical work — the bit-reproducibility
+    contract — so the per-phase deltas are pure representation and
+    dispatch cost. In the taped mode the tape-recording overhead lands
+    in the forward column and plan validation in the backward column,
+    exactly where a training run pays them.
+
+    Each mode is measured ``repeats`` times in interleaved rounds with
+    the mode order rotated per round, keeping the per-phase minimum —
+    a fixed measurement order would hand whichever mode runs first the
+    benefit of an undecayed CPU clock and bias every cross-mode ratio.
+    With three rounds over the three modes, every mode's position sum
+    in the schedule is equal, cancelling any monotonic machine drift.
     """
-    results: dict[str, StepPhaseBreakdown] = {}
-    for mode in ("sparse", "dense"):
-        with _sparse_mode(mode == "sparse"):
+    from ..engine.plan import StepPlanner
+    modes = ("taped", "sparse", "dense")
+
+    def run_once(mode: str) -> StepPhaseBreakdown:
+        with _sparse_mode(mode != "dense"):
+            planner = StepPlanner() if mode == "taped" else None
             model = create_model(model_name, dataset, seed=seed,
                                  embedding_dim=embedding_dim,
                                  **model_kwargs)
@@ -463,18 +490,25 @@ def measure_step_breakdown(dataset: RecDataset, model_name: str,
                 phase_s["sample"] += time.perf_counter() - start
                 for users, pos, neg in batches:
                     optimizer.zero_grad()
-                    start = time.perf_counter()
-                    replay_before = ag_optim.REPLAY_SECONDS
-                    loss = model.loss(users, pos, neg)
-                    moved = ag_optim.REPLAY_SECONDS - replay_before
-                    # Deferred-row replays triggered by forward gathers
-                    # are optimizer-step work: attribute them there.
-                    phase_s["forward"] += \
-                        time.perf_counter() - start - moved
-                    phase_s["step"] += moved
-                    start = time.perf_counter()
-                    loss.backward()
-                    phase_s["backward"] += time.perf_counter() - start
+                    record = (planner.recording() if planner is not None
+                              else nullcontext())
+                    with record:
+                        start = time.perf_counter()
+                        replay_before = ag_optim.REPLAY_SECONDS
+                        loss = model.loss(users, pos, neg)
+                        moved = ag_optim.REPLAY_SECONDS - replay_before
+                        # Deferred-row replays triggered by forward
+                        # gathers are optimizer-step work: attribute
+                        # them there.
+                        phase_s["forward"] += \
+                            time.perf_counter() - start - moved
+                        phase_s["step"] += moved
+                        start = time.perf_counter()
+                        if planner is not None:
+                            planner.backward(loss)
+                        else:
+                            loss.backward()
+                        phase_s["backward"] += time.perf_counter() - start
                     start = time.perf_counter()
                     clip_grad_norm(optimizer.params, grad_clip)
                     phase_s["clip"] += time.perf_counter() - start
@@ -496,29 +530,57 @@ def measure_step_breakdown(dataset: RecDataset, model_name: str,
                 phase_s["extra"] += time.perf_counter() - start - moved
                 phase_s["step"] += moved
             optimizer.release()
-            results[mode] = StepPhaseBreakdown(
+            return StepPhaseBreakdown(
                 model=model_name, mode=mode, steps=steps,
+                tape_stats=(planner.stats() if planner is not None
+                            else None),
                 **{f"{phase}_ms": 1000.0 * seconds / max(steps, 1)
                    for phase, seconds in phase_s.items()})
-    return results
+
+    results: dict[str, StepPhaseBreakdown] = {}
+    for round_no in range(max(repeats, 1)):
+        order = modes[round_no % len(modes):] + modes[:round_no % len(modes)]
+        for mode in order:
+            run = run_once(mode)
+            best = results.get(mode)
+            if best is None:
+                results[mode] = run
+                continue
+            for phase in StepPhaseBreakdown.PHASES:
+                name = f"{phase}_ms"
+                setattr(best, name, min(getattr(best, name),
+                                        getattr(run, name)))
+    return {mode: results[mode] for mode in modes}
 
 
 def breakdown_rows(breakdowns: dict[str, StepPhaseBreakdown]) -> list[dict]:
-    """Render a sparse-vs-dense per-phase comparison table."""
+    """Render a per-phase comparison table (taped / sparse / dense).
+
+    The ``taped`` column appears when the breakdown measured it; older
+    two-mode breakdowns render the historical sparse-vs-dense table.
+    """
     sparse, dense = breakdowns["sparse"], breakdowns["dense"]
+    taped = breakdowns.get("taped")
     rows = []
     for phase in StepPhaseBreakdown.PHASES + ("total",):
         dense_ms = (dense.total_ms if phase == "total"
                     else dense.phase_ms(phase))
         sparse_ms = (sparse.total_ms if phase == "total"
                      else sparse.phase_ms(phase))
-        rows.append({
+        row = {
             "Model": sparse.model,
             "Phase": phase,
             "Dense (ms/step)": round(dense_ms, 3),
             "Sparse (ms/step)": round(sparse_ms, 3),
             "Speedup": round(dense_ms / max(sparse_ms, 1e-9), 2),
-        })
+        }
+        if taped is not None:
+            taped_ms = (taped.total_ms if phase == "total"
+                        else taped.phase_ms(phase))
+            row["Taped (ms/step)"] = round(taped_ms, 3)
+            row["Tape speedup"] = round(
+                sparse_ms / max(taped_ms, 1e-9), 2)
+        rows.append(row)
     return rows
 
 
@@ -660,6 +722,70 @@ def measure_forward_throughput(
             cache_off_epochs_per_second=cache_off_eps,
             legacy_epochs_per_second=legacy_eps,
             cache_hits=hits, cache_misses=misses,
+        ))
+    return rows
+
+
+@dataclass
+class TapeThroughputRow:
+    """Epochs/second with the step tape on vs off.
+
+    Both runs use the shipped gradient pipeline (row-sparse on); the
+    only difference is whether backward replays a traced
+    :class:`~repro.engine.plan.StepPlan` (``REPRO_TAPE=1``) or runs the
+    per-step dict sweep (``REPRO_TAPE=0``). The two trajectories are
+    bit-identical; only wall-clock differs.
+    """
+
+    model: str
+    epochs: int
+    taped_epochs_per_second: float
+    untaped_epochs_per_second: float
+
+    @property
+    def speedup(self) -> float:
+        return self.taped_epochs_per_second / max(
+            self.untaped_epochs_per_second, 1e-12)
+
+    def as_row(self) -> dict:
+        return {
+            "Model": self.model,
+            "Epochs": self.epochs,
+            "Taped (epochs/s)": round(self.taped_epochs_per_second, 2),
+            "Untaped (epochs/s)": round(
+                self.untaped_epochs_per_second, 2),
+            "Tape speedup": round(self.speedup, 2),
+        }
+
+
+def measure_tape_training_throughput(
+        dataset: RecDataset, model_names: tuple = ("BPR",),
+        epochs: int = 12, seed: int = 0, repeats: int = 3,
+        train_config: TrainConfig | None = None,
+        **model_kwargs) -> list[TapeThroughputRow]:
+    """Epochs/second per model, step tape on vs off.
+
+    Same protocol as :func:`measure_training_throughput` (fresh model
+    per repeat, one warm-up step outside the timer, final-epoch
+    validation included, best-of-``repeats``), toggled over
+    ``REPRO_TAPE``.
+    """
+    train_config = train_config or TrainConfig(batch_size=512,
+                                               learning_rate=0.05)
+    rows = []
+    for name in model_names:
+        with _tape_mode(True):
+            taped_eps = _epochs_per_second(
+                name, dataset, epochs, train_config, seed, repeats,
+                **model_kwargs)
+        with _tape_mode(False):
+            untaped_eps = _epochs_per_second(
+                name, dataset, epochs, train_config, seed, repeats,
+                **model_kwargs)
+        rows.append(TapeThroughputRow(
+            model=name, epochs=epochs,
+            taped_epochs_per_second=taped_eps,
+            untaped_epochs_per_second=untaped_eps,
         ))
     return rows
 

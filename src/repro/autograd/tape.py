@@ -1,0 +1,156 @@
+"""Step tape: record the tensors a training step creates, replay later.
+
+PR 4 measured that bit-exact float64 training is dispatch-bound: most of
+the remaining per-step cost is Python graph bookkeeping — the DFS
+topological sort, the ``id()``-keyed gradient dict, the visited set —
+rebuilt from scratch every step even though consecutive steps of one
+model run the *same* primitive sequence. Following the HIPS-autograd
+tape design (record once, replay gradients LIFO), this module records
+every requires-grad tensor a step creates onto a :class:`StepTape`; the
+engine plan layer (:mod:`repro.engine.plan`) then freezes one traced
+backward sweep into a :class:`~repro.engine.plan.StepPlan` and replays
+it for every subsequent structurally-identical step.
+
+Bit-exactness contract
+----------------------
+The replay calls the *current* step's backward closures in the *traced*
+processing order with the *traced* accumulation routing. The processing
+order of :func:`run_backward` is a pure function of graph structure
+(DFS push order), never of values — so a replay over an isomorphic
+graph performs the identical floating-point operation sequence the
+dict-based sweep would have, and the results agree bit for bit.
+``tests/engine/test_plan.py`` and the golden suite assert this.
+
+``REPRO_TAPE=0`` disables recording and replay entirely (the trainer
+then runs the historical per-step sweep).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from . import rowsparse
+from .rowsparse import RowSparseGrad
+
+
+def enabled() -> bool:
+    """Whether training steps should be taped and replayed.
+
+    Read per call (like ``REPRO_SPARSE_GRAD`` / ``REPRO_FORWARD_CACHE``)
+    so tests can flip the toggle without re-importing.
+    """
+    return os.environ.get("REPRO_TAPE", "1") != "0"
+
+
+class StepTape:
+    """Ordered record of the requires-grad tensors one step created.
+
+    While active (see :func:`activate`), ``Tensor.__init__`` appends
+    every requires-grad tensor and stamps its ``_tape_idx``. Pre-existing
+    tensors — parameters, forward-memo survivors from earlier steps —
+    are never on the current tape; the plan layer references them by
+    object identity instead (they are identity-stable until the memo or
+    optimizer invalidates them, which the plan detects structurally).
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self):
+        self.nodes: list = []
+
+    def record(self, tensor) -> None:
+        tensor._tape_idx = len(self.nodes)
+        self.nodes.append(tensor)
+
+    def clear(self) -> None:
+        self.nodes.clear()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def owns(self, tensor) -> bool:
+        """Whether ``tensor`` was recorded on *this* tape's current pass
+        (stale ``_tape_idx`` stamps from earlier steps fail the identity
+        check)."""
+        idx = tensor._tape_idx
+        return 0 <= idx < len(self.nodes) and self.nodes[idx] is tensor
+
+
+#: The tape ``Tensor.__init__`` records onto, or ``None``. A module
+#: global (not thread-local): the training loop is single-threaded and
+#: the check must stay a single load on the tensor-creation hot path.
+_ACTIVE: StepTape | None = None
+
+
+def activate(tape: StepTape | None) -> StepTape | None:
+    """Install ``tape`` as the recording target; returns the previous
+    one so callers can restore it (no nesting support needed — the
+    trainer is the only writer)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tape
+    return previous
+
+
+def active_tape() -> StepTape | None:
+    return _ACTIVE
+
+
+def run_backward(root, grad: np.ndarray) -> list:
+    """The reverse-mode sweep (moved here from ``Tensor.backward`` so
+    trace and plain execution share one implementation).
+
+    Returns the topological order it derived — the plan layer turns it
+    into a replayable schedule. The loop body below is the semantics the
+    plan replay mirrors; any change here must be reflected in
+    :meth:`repro.engine.plan.StepPlan.replay` (the parity tests fail
+    loudly if the two drift).
+    """
+    # Topological order via iterative DFS (avoids recursion limits on
+    # deep GNN stacks).
+    topo: list = []
+    visited: set[int] = set()
+    stack: list[tuple] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited and parent.requires_grad:
+                stack.append((parent, False))
+
+    grads: dict[int, np.ndarray] = {id(root): grad}
+    for node in reversed(topo):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if node._backward is None:
+            node._accumulate(node_grad)
+            continue
+        if isinstance(node_grad, RowSparseGrad) and not getattr(
+                node._backward, "accepts_sparse", False):
+            # Only sparse-aware closures (axis-0 concat) can route a
+            # row-sparse gradient; everything else gets the dense
+            # array the closure was written against.
+            node_grad = node_grad.to_dense()
+        parent_grads = node._backward(node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for parent, pgrad in zip(node._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            if parent._backward is None and not parent._parents:
+                parent._accumulate(pgrad)
+            elif id(parent) in grads:
+                grads[id(parent)] = rowsparse.grad_sum(
+                    grads[id(parent)], pgrad)
+            else:
+                grads[id(parent)] = rowsparse.first_arrival(pgrad)
+    return topo

@@ -47,9 +47,13 @@ Commands
     forward memo against the legacy per-relation forward path
     (``REPRO_BATCHED_ATTENTION=0`` / ``REPRO_FORWARD_CACHE=0``), with
     memo hit counts and an optional ``--min-forward-speedup`` floor
-    (the CI no-regression gate). ``--breakdown`` adds the per-phase
+    (the CI no-regression gate). ``--tape-compare`` benchmarks step-tape
+    replay (``REPRO_TAPE=1``) against the per-step dict sweep on the
+    same catalog-dominated fixture, with an optional
+    ``--min-tape-speedup`` floor. ``--breakdown`` adds the per-phase
     (sample/forward/backward/clip/step/extra) training-step cost table
-    for any model, heterogeneous ones included.
+    for any model, heterogeneous ones included — taped, sparse-untaped,
+    and dense columns.
 """
 
 from __future__ import annotations
@@ -247,6 +251,7 @@ def cmd_bench(args) -> int:
                                   measure_forward_throughput,
                                   measure_sparse_training_throughput,
                                   measure_step_breakdown,
+                                  measure_tape_training_throughput,
                                   measure_training_throughput)
     def print_breakdowns(dataset) -> None:
         if not args.breakdown:
@@ -260,15 +265,48 @@ def cmd_bench(args) -> int:
                     embedding_dim=args.embedding_dim, seed=args.seed)),
                 title=f"{name}: per-phase training-step cost"))
 
-    if not args.sparse_compare and (args.min_sparse_speedup is not None
-                                    or args.fixture_scale != 1.0):
-        print("--min-sparse-speedup/--fixture-scale only apply with "
-              "--sparse-compare", file=sys.stderr)
+    if not args.sparse_compare and args.min_sparse_speedup is not None:
+        print("--min-sparse-speedup only applies with --sparse-compare",
+              file=sys.stderr)
+        return 2
+    if not (args.sparse_compare or args.tape_compare) \
+            and args.fixture_scale != 1.0:
+        print("--fixture-scale only applies with --sparse-compare or "
+              "--tape-compare", file=sys.stderr)
         return 2
     if not args.forward_compare and args.min_forward_speedup is not None:
         print("--min-forward-speedup only applies with --forward-compare",
               file=sys.stderr)
         return 2
+    if not args.tape_compare and args.min_tape_speedup is not None:
+        print("--min-tape-speedup only applies with --tape-compare",
+              file=sys.stderr)
+        return 2
+    if args.tape_compare:
+        if args.sparse_compare or args.forward_compare:
+            print("--tape-compare is a separate benchmark; pick one",
+                  file=sys.stderr)
+            return 2
+        dataset = catalog_dominated_dataset(scale=args.fixture_scale,
+                                            seed=args.seed)
+        rows = measure_tape_training_throughput(
+            dataset, model_names=tuple(args.models), epochs=args.epochs,
+            seed=args.seed, train_config=_train_config(args),
+            embedding_dim=args.embedding_dim)
+        print(format_table(
+            [row.as_row() for row in rows],
+            title="Step-tape replay vs per-step dict sweep "
+                  f"on {dataset.name} (bit-identical models)"))
+        print_breakdowns(dataset)
+        worst = min(rows, key=lambda row: row.speedup)
+        if args.min_tape_speedup is not None \
+                and worst.speedup < args.min_tape_speedup:
+            print(f"FAIL: {worst.model} taped steps are only "
+                  f"{worst.speedup:.2f}x the untaped sweep, below the "
+                  f"--min-tape-speedup floor of {args.min_tape_speedup}",
+                  file=sys.stderr)
+            return 1
+        return 0
     if args.forward_compare:
         if args.sparse_compare:
             print("--forward-compare and --sparse-compare are separate "
@@ -581,10 +619,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --forward-compare: exit nonzero when "
                               "the fused/legacy epochs-per-second ratio "
                               "falls below this floor")
+    p_bench.add_argument("--tape-compare", action="store_true",
+                         help="benchmark step-tape replay (REPRO_TAPE=1) "
+                              "against the per-step dict sweep on the "
+                              "catalog-dominated synthetic fixture")
+    p_bench.add_argument("--min-tape-speedup", type=float, default=None,
+                         help="with --tape-compare: exit nonzero when "
+                              "the taped/untaped epochs-per-second ratio "
+                              "falls below this floor")
     p_bench.add_argument("--breakdown", action="store_true",
                          help="also print the per-phase "
                               "(sample/forward/backward/clip/step) "
-                              "training-step cost, sparse vs dense")
+                              "training-step cost, taped vs sparse "
+                              "vs dense")
     _add_common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
     return parser

@@ -1,0 +1,356 @@
+"""Compiled training steps: trace one backward sweep, replay it.
+
+:func:`repro.autograd.tape.run_backward` spends a measurable slice of
+every training step on pure bookkeeping — the DFS topological sort, the
+``id()``-keyed gradient dict, the visited set — even though consecutive
+steps of one model run a structurally identical graph. A
+:class:`StepPlan` freezes that bookkeeping once: the first step of a
+given structure is traced into a fixed processing schedule (the exact
+reversed-topological order the sweep derived) with precomputed gradient
+routing, and every later step replays the schedule against its own
+freshly built closures using preallocated slot buffers instead of the
+dict.
+
+Why the replay is bit-exact
+---------------------------
+The dict sweep's processing order is a pure function of graph
+*structure* (DFS push order over the parent tuples), never of values.
+:meth:`StepPlan.validate` proves the new step's graph is isomorphic to
+the traced one — same node count, same parent wiring, same
+leaf/interior split, checked by object identity against the step tape —
+and replay then executes the *current* step's closures in the *traced*
+order with the *traced* accumulation routing. Same closures, same
+order, same arrival-order ``grad_sum`` folds ⇒ the identical
+floating-point instruction sequence the sweep would have run, bit for
+bit. Anything that changes structure — a forward-memo invalidation
+swapping in a recomputed subgraph, a model ``invalidate()``, a
+different relation set — fails validation by identity and the step
+falls back to a fresh trace (still a full, correct backward).
+
+The plan layer never stores values: no parameter state, no gradients,
+no RNG positions. That is what keeps kill-and-resume trivially
+bit-exact — a resumed run simply re-traces on its first step.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..autograd import rowsparse
+from ..autograd.rowsparse import RowSparseGrad
+from ..autograd.tape import StepTape, activate, enabled, run_backward
+
+__all__ = ["BufferPool", "StepPlan", "StepPlanner", "enabled",
+           "tape_mode"]
+
+#: Structurally distinct plans kept per planner before the cache resets
+#: (a runaway count means the model mutates its graph every step and
+#: taping cannot help).
+MAX_PLANS = 8
+
+
+@contextmanager
+def tape_mode(on: bool):
+    """Force ``REPRO_TAPE`` on/off for the duration of a block.
+
+    Used by parity measurements and by experiment specs that pin
+    :attr:`repro.experiments.spec.ExperimentSpec.tape` — the toggle is
+    bit-identical by contract, so flipping it never changes results,
+    only the per-step dispatch cost.
+    """
+    import os
+    previous = os.environ.get("REPRO_TAPE")
+    os.environ["REPRO_TAPE"] = "1" if on else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_TAPE", None)
+        else:
+            os.environ["REPRO_TAPE"] = previous
+
+
+class BufferPool:
+    """Shape/dtype-keyed arrays reused across steps.
+
+    Seed gradients (the ``ones_like`` every ``backward()`` call mints)
+    are the same shape every step; the pool hands back one long-lived
+    array per ``(shape, dtype, fill)`` instead. Buffers are marked
+    read-only so a consumer that mutated its upstream gradient — which
+    would silently corrupt later replays — fails loudly instead.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self):
+        self._buffers: dict = {}
+
+    def filled(self, shape: tuple, dtype, fill: float) -> np.ndarray:
+        key = (shape, np.dtype(dtype), fill)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.full(shape, fill, dtype=dtype)
+            buf.setflags(write=False)
+            self._buffers[key] = buf
+        return buf
+
+    def ones(self, shape: tuple, dtype) -> np.ndarray:
+        return self.filled(shape, dtype, 1.0)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+# Per-parent gradient routes, one int per parent (aligned with a
+# node's `_parents` tuple):
+#   r >= 0    fold into slot r (the parent is schedule entry r)
+#   r == -1   parent does not require grad — skip
+#   r <= -2   leaf: accumulate straight into the parent, which must be
+#             extended-list element (-r - 2) — see below
+# An entry whose routes are None is a leaf itself (``_backward is
+# None``): its slot, if ever seeded, accumulates directly.
+#
+# Every node reference is an index into the *extended node list*
+# ``tape.nodes + plan._stable``: positions below ``num_tape_nodes``
+# are this step's freshly recorded tensors, positions above are
+# identity-stable survivors from outside the step (parameters,
+# forward-memo outputs) captured at trace time. The extended list is
+# rebuilt each step by one C-level concatenation, so resolving the
+# whole schedule is a single ``map`` call.
+
+
+class StepPlan:
+    """One traced backward schedule plus its reusable replay buffers."""
+
+    __slots__ = ("routes", "num_tape_nodes", "_ext_indices", "_stable",
+                 "_check", "_slots", "_nones")
+
+    def __init__(self, routes: list, ext_indices: list, stable: list,
+                 check: list, num_tape_nodes: int):
+        #: per-entry route tuples (None for leaf entries), schedule order
+        self.routes = routes
+        #: entry -> extended-list index
+        self._ext_indices = ext_indices
+        #: identity-stable off-tape nodes the schedule references
+        self._stable = stable
+        #: (entry, routes) pairs that need per-step validation — only
+        #: entries living on the tape; off-tape nodes' parent tuples are
+        #: frozen after construction, so one trace-time look suffices
+        self._check = check
+        self.num_tape_nodes = num_tape_nodes
+        n = len(routes)
+        # Preallocated, reused every step: the gradient slots that
+        # replace the sweep's id()-keyed dict.
+        self._slots: list = [None] * n
+        self._nones = (None,) * n
+
+    # ------------------------------------------------------------------
+    # trace
+    # ------------------------------------------------------------------
+    @classmethod
+    def trace(cls, root, grad: np.ndarray, tape: StepTape) -> "StepPlan":
+        """Run a real backward sweep for this step and freeze its
+        schedule. The gradients land exactly as a plain ``backward()``
+        would — tracing *is* the step's backward."""
+        topo = run_backward(root, grad)
+        order = topo[::-1]
+        pos = {id(node): i for i, node in enumerate(order)}
+        num_tape = len(tape)
+        stable: list = []
+        stable_index: dict[int, int] = {}
+
+        def ext_index(node) -> int:
+            if tape.owns(node):
+                return node._tape_idx
+            key = id(node)
+            idx = stable_index.get(key)
+            if idx is None:
+                idx = num_tape + len(stable)
+                stable_index[key] = idx
+                stable.append(node)
+            return idx
+
+        routes_list: list = []
+        ext_indices: list = []
+        check: list = []
+        for node in order:
+            idx = ext_index(node)
+            ext_indices.append(idx)
+            if node._backward is None:
+                routes_list.append(None)
+                if idx < num_tape:
+                    check.append((len(routes_list) - 1, None))
+                continue
+            routes = []
+            for parent in node._parents:
+                if not parent.requires_grad:
+                    routes.append(-1)
+                elif parent._backward is None and not parent._parents:
+                    routes.append(-2 - ext_index(parent))
+                else:
+                    routes.append(pos[id(parent)])
+            routes = tuple(routes)
+            routes_list.append(routes)
+            if idx < num_tape:
+                check.append((len(routes_list) - 1, routes))
+        return cls(routes_list, ext_indices, stable, check, num_tape)
+
+    # ------------------------------------------------------------------
+    # validate
+    # ------------------------------------------------------------------
+    def validate(self, tape: StepTape, root) -> list | None:
+        """Prove the current step's graph is isomorphic to the traced
+        one; returns the resolved node list for :meth:`replay`, or
+        ``None`` (→ the caller re-traces). Pure identity checks over
+        the freshly taped entries — O(nodes + edges), no hashing."""
+        nodes = tape.nodes
+        if len(nodes) != self.num_tape_nodes:
+            return None
+        ext = nodes + self._stable
+        resolved = list(map(ext.__getitem__, self._ext_indices))
+        if resolved[0] is not root:
+            return None
+        for i, routes in self._check:
+            node = resolved[i]
+            if routes is None:
+                if node._backward is not None:
+                    return None
+                continue
+            if node._backward is None:
+                return None
+            parents = node._parents
+            if len(parents) != len(routes):
+                return None
+            for parent, route in zip(parents, routes):
+                if route >= 0:
+                    if parent is not resolved[route]:
+                        return None
+                elif route == -1:
+                    if parent.requires_grad:
+                        return None
+                elif parent is not ext[-2 - route]:
+                    return None
+        return resolved
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self, resolved: list, grad: np.ndarray) -> None:
+        """Execute the traced schedule against the current step's
+        closures. Mirrors the loop body of
+        :func:`repro.autograd.tape.run_backward` exactly — slots stand
+        in for the gradient dict, the precomputed routes for its id()
+        lookups; every floating-point operation happens in the same
+        order with the same operands."""
+        slots = self._slots
+        slots[:] = self._nones
+        slots[0] = grad
+        sparse_grad = RowSparseGrad
+        first_arrival = rowsparse.first_arrival
+        grad_sum = rowsparse.grad_sum
+        for i, routes in enumerate(self.routes):
+            node_grad = slots[i]
+            if node_grad is None:
+                continue
+            slots[i] = None
+            node = resolved[i]
+            if routes is None:
+                node._accumulate(node_grad)
+                continue
+            backward = node._backward
+            if isinstance(node_grad, sparse_grad) and not getattr(
+                    backward, "accepts_sparse", False):
+                node_grad = node_grad.to_dense()
+            parent_grads = backward(node_grad)
+            if not isinstance(parent_grads, tuple):
+                parent_grads = (parent_grads,)
+            for parent, route, pgrad in zip(node._parents, routes,
+                                            parent_grads):
+                if pgrad is None or route == -1:
+                    continue
+                if route >= 0:
+                    current = slots[route]
+                    if current is None:
+                        slots[route] = first_arrival(pgrad)
+                    else:
+                        slots[route] = grad_sum(current, pgrad)
+                else:
+                    parent._accumulate(pgrad)
+
+
+class StepPlanner:
+    """Per-training-run driver: tape the step, replay when possible.
+
+    Usage (see ``repro.train.trainer``)::
+
+        planner = StepPlanner()
+        with planner.recording():
+            loss = model.loss(users, pos, neg)
+            planner.backward(loss)
+
+    The planner keeps one plan per observed graph size (full batches and
+    the runt batch at an epoch's end usually share a structure; models
+    that alternate structures get one plan each, up to
+    :data:`MAX_PLANS`). ``traces`` / ``replays`` / ``fallbacks`` count
+    how the run split between fresh sweeps and replays — threaded into
+    training snapshots so a resumed run keeps honest totals.
+    """
+
+    def __init__(self):
+        self.tape = StepTape()
+        self.pool = BufferPool()
+        self._plans: dict[int, StepPlan] = {}
+        self.traces = 0
+        self.replays = 0
+        self.fallbacks = 0
+
+    @contextmanager
+    def recording(self):
+        """Record every requires-grad tensor the block creates."""
+        self.tape.clear()
+        previous = activate(self.tape)
+        try:
+            yield self.tape
+        finally:
+            activate(previous)
+
+    def backward(self, loss, grad=None) -> None:
+        """The step's backward: replay the matching plan, or trace a
+        new one (a trace *is* a full plain sweep — gradients always
+        land, bit-identically either way)."""
+        if grad is None:
+            if loss.data.size != 1:
+                raise ValueError(
+                    "backward() without grad requires a scalar output")
+            grad = self.pool.ones(loss.data.shape, loss.data.dtype)
+        plan = self._plans.get(len(self.tape))
+        if plan is not None:
+            resolved = plan.validate(self.tape, loss)
+            if resolved is not None:
+                plan.replay(resolved, grad)
+                self.replays += 1
+                # Drop the step's intermediates now, exactly when a
+                # plain sweep would have released them — holding them
+                # until the next recording() would inflate the live set
+                # and cost allocator churn in the next forward.
+                self.tape.clear()
+                return
+            self.fallbacks += 1
+        plan = StepPlan.trace(loss, grad, self.tape)
+        if len(self._plans) >= MAX_PLANS:
+            self._plans.clear()
+        self._plans[plan.num_tape_nodes] = plan
+        self.traces += 1
+        self.tape.clear()
+
+    # -- snapshot threading (repro.train.snapshot) ---------------------
+    def stats(self) -> dict:
+        return {"traces": self.traces, "replays": self.replays,
+                "fallbacks": self.fallbacks}
+
+    def load_stats(self, stats: dict) -> None:
+        self.traces = int(stats.get("traces", 0))
+        self.replays = int(stats.get("replays", 0))
+        self.fallbacks = int(stats.get("fallbacks", 0))

@@ -181,8 +181,17 @@ class Runner:
             model = self._create_model(spec, model_name, dataset)
             snapshot = self.store.partial_dir("train", key) \
                 / "snapshot.npz"
-            result = train_model(model, dataset, spec.train,
-                                 snapshot_path=snapshot)
+            if spec.tape is None:
+                result = train_model(model, dataset, spec.train,
+                                     snapshot_path=snapshot)
+            else:
+                # Pinned tape mode (A/B parity specs): bit-identical by
+                # contract, so only explicitly pinned specs fold it into
+                # their train_key.
+                from ..engine.plan import tape_mode
+                with tape_mode(spec.tape):
+                    result = train_model(model, dataset, spec.train,
+                                         snapshot_path=snapshot)
             staged = self.store.stage_dir("train", key)
             save_checkpoint(model, staged / "model.npz", metadata={
                 "model": model_name, "dataset": spec.dataset,

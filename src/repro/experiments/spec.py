@@ -116,6 +116,12 @@ class ExperimentSpec:
     #: one optional sweep axis: (model-config field, values); expanded by
     #: :func:`expand_sweep` into one child spec per value
     sweep: tuple = ()
+    #: pin step-tape replay on/off for this experiment's training runs
+    #: (``None`` — the default — follows ``REPRO_TAPE``). The toggle is
+    #: bit-identical by contract, so it only enters the content address
+    #: when explicitly pinned: A/B parity specs get distinct artifacts,
+    #: ordinary specs keep their existing addresses.
+    tape: bool | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -146,7 +152,7 @@ class ExperimentSpec:
         # that train identical bits share the artifact.
         train = dataclasses.asdict(self.train)
         train.pop("verbose")
-        return content_key({
+        payload = {
             "pipeline": PIPELINE_VERSION,
             "dtype": _param_dtype(),
             "dataset": self.dataset_key(),
@@ -155,7 +161,10 @@ class ExperimentSpec:
             "train": train,
             "embedding_dim": self.embedding_dim,
             "seed": self.seed,
-        })
+        }
+        if self.tape is not None:
+            payload["tape"] = self.tape
+        return content_key(payload)
 
     def eval_key(self, model: str) -> str:
         return content_key({

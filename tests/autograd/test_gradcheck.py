@@ -1,4 +1,13 @@
-"""Finite-difference validation of every differentiable primitive."""
+"""Finite-difference validation of every differentiable primitive.
+
+Two layers of coverage:
+
+* the per-op classes below — one hand-picked case per primitive;
+* :class:`TestPrimitiveGrid` — every primitive the step tape records
+  (``src/repro/autograd/tape.py``), swept over a grid of random shapes
+  and parameter dtypes, plus the fused KGAT-attention / TransR kernels
+  and the row-sparse gather paths whose closures the tape replays.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +17,9 @@ import scipy.sparse as sp
 
 from repro.autograd import (Tensor, concat, infonce, softmax_cross_entropy,
                             sparse_matmul, stack)
+from repro.autograd import fused
+from repro.autograd.rowsparse import RowSparseGrad
+from repro.components.segments import segment_operators
 
 
 def numeric_gradient(func, arrays, index, eps=1e-6):
@@ -178,6 +190,141 @@ class TestCombinators:
         target = np.array([0, 2, 1])
         check(lambda a: softmax_cross_entropy(a, target),
               rng.normal(size=(3, 4)))
+
+
+# ---------------------------------------------------------------------------
+# shape/dtype grid over every tape-recorded primitive
+# ---------------------------------------------------------------------------
+
+def _dense(grad):
+    if isinstance(grad, RowSparseGrad):
+        return grad.to_dense()
+    return grad
+
+
+def check_typed(func, arrays, dtype, tol):
+    """Analytic gradient at ``dtype`` vs float64 central differences.
+
+    The float64 numeric gradient is the reference for both dtypes; the
+    float32 tolerance absorbs that path's own rounding.
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    tensors = [Tensor(a.astype(dtype), requires_grad=True) for a in arrays]
+    out = func(*tensors)
+    assert out.data.dtype == np.dtype(dtype)
+    out.sum().backward() if out.data.size > 1 else out.backward()
+    for i, t in enumerate(tensors):
+        expected = numeric_gradient(func, arrays, i)
+        if t.grad is None:
+            # An op is free to ignore an operand entirely — then the
+            # numeric gradient must agree that it's zero.
+            np.testing.assert_allclose(expected, 0.0, atol=tol,
+                                       err_msg=f"input {i} ({dtype})")
+            continue
+        got = np.asarray(_dense(t.grad), dtype=np.float64)
+        np.testing.assert_allclose(got, expected, atol=tol, rtol=tol,
+                                   err_msg=f"input {i} ({dtype})")
+
+
+#: (name, op over (a, b), needs) — `a` is the shaped grid input,
+#: `b` a second operand shaped like `a`'s last axis
+GRID_OPS = [
+    ("add", lambda a, b: a + b),
+    ("mul", lambda a, b: a * b),
+    ("div", lambda a, b: a / (b * b + 1.0)),
+    ("neg_sub", lambda a, b: -(a - b)),
+    ("pow3", lambda a, b: a ** 3),
+    ("relu", lambda a, b: (a + 0.1).relu()),
+    ("leaky_relu", lambda a, b: (a + 0.1).leaky_relu(0.2)),
+    ("sigmoid", lambda a, b: a.sigmoid()),
+    ("tanh", lambda a, b: a.tanh()),
+    ("exp_log", lambda a, b: (a.exp() + 1.0).log()),
+    ("softplus", lambda a, b: a.softplus()),
+    ("logsigmoid", lambda a, b: a.logsigmoid()),
+    ("sqrt", lambda a, b: (a * a + 1.0).sqrt()),
+    ("abs", lambda a, b: (a + 0.1).abs()),
+    ("clip", lambda a, b: a.clip(-10.0, 10.0)),
+    ("sum", lambda a, b: a.sum()),
+    ("sum_axis0", lambda a, b: a.sum(axis=0)),
+    ("mean_last", lambda a, b: a.mean(axis=-1)),
+    ("reshape", lambda a, b: a.reshape(-1)),
+    ("getitem", lambda a, b: a[1:]),
+]
+
+SHAPES = [(6,), (3, 4), (2, 3, 4)]
+DTYPES = {np.float64: 1e-4, np.float32: 2e-3}
+
+
+class TestPrimitiveGrid:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    @pytest.mark.parametrize("name,op", GRID_OPS, ids=[n for n, _ in GRID_OPS])
+    def test_op(self, name, op, shape, dtype, rng):
+        a = rng.normal(size=shape)
+        b = rng.normal(size=shape[-1:])
+        check_typed(op, [a, b], dtype, DTYPES[dtype])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matmul_2d(self, dtype, rng):
+        check_typed(lambda a, b: a.matmul(b),
+                    [rng.normal(size=(3, 5)), rng.normal(size=(5, 2))],
+                    dtype, DTYPES[dtype])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_softmax_norm_2d(self, dtype, rng):
+        check_typed(lambda a, b: a.softmax(axis=1) + a.normalize(axis=1),
+                    [rng.normal(size=(4, 3)), rng.normal(size=(3,))],
+                    dtype, DTYPES[dtype])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_concat_stack(self, dtype, rng):
+        check_typed(lambda a, b: concat([a, stack([b, b], axis=0)], axis=0),
+                    [rng.normal(size=(2, 4)), rng.normal(size=(4,))],
+                    dtype, DTYPES[dtype])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_take_rows_rowsparse_path(self, dtype, rng):
+        """Duplicate gathers from one table: the row-sparse gradient
+        representation (kept sparse through ``concat``'s
+        ``accepts_sparse`` closure) must densify to the exact
+        scatter-add a dense path would produce."""
+        idx_a = np.array([0, 2, 2, 4])
+        idx_b = np.array([4, 1])
+        check_typed(
+            lambda t, b: concat([t.take_rows(idx_a), t.take_rows(idx_b)],
+                                axis=0),
+            [rng.normal(size=(5, 3)), rng.normal(size=(3,))],
+            dtype, DTYPES[dtype])
+
+
+class TestFusedKernelGradcheck:
+    """Finite differences through the fused KGAT kernels themselves —
+    the largest single closures the step tape replays."""
+
+    def _plan(self):
+        by_relation = [
+            (np.array([0, 0, 1, 2]), np.array([1, 2, 0, 3])),
+            (np.array([3, 4]), np.array([0, 1])),
+        ]
+        plan = fused.RelationPlan(by_relation, num_nodes=5, dim=3)
+        ops = segment_operators(plan.segments, 5)
+        return plan, ops
+
+    def test_attention_message(self, rng):
+        plan, ops = self._plan()
+        check(lambda nodes, w, e: fused.attention_message(
+                  nodes, w, e, plan, ops),
+              rng.normal(size=(5, 3)), rng.normal(size=(2, 3, 2)),
+              rng.normal(size=(2, 2)))
+
+    def test_transr_scores(self, rng):
+        heads = np.array([0, 3, 1, 2])
+        relations = np.array([0, 1, 0, 1])
+        tails = np.array([2, 1, 4, 0])
+        check(lambda e, w0, w1, r: fused.transr_scores(
+                  e, [w0, w1], r, heads, relations, tails),
+              rng.normal(size=(5, 3)), rng.normal(size=(3, 2)),
+              rng.normal(size=(3, 2)), rng.normal(size=(2, 2)))
 
 
 class TestGraphStructure:

@@ -9,6 +9,19 @@ from repro.data import build_dataset
 from repro.data.world import WorldConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point ``REPRO_ARTIFACTS`` at a per-test temporary store.
+
+    Any code path that falls back to the default artifact root (the CLI,
+    the experiment runner, benchmark helpers) would otherwise write into
+    — or silently reuse stale results from — the developer's
+    ``.artifacts`` directory. Tests that care about a specific store
+    still construct their own ``ArtifactStore(path)`` explicitly.
+    """
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "artifacts"))
+
+
 def tiny_config(seed: int = 0) -> WorldConfig:
     """A world small enough for sub-second model construction."""
     return WorldConfig(

@@ -1,0 +1,210 @@
+"""Step-plan mechanics: trace, validate, replay, invalidate, fall back.
+
+The contract under test (see ``src/repro/engine/plan.py``): a traced
+plan replays the *identical* floating-point sequence the dict sweep
+would run — gradients agree bit-for-bit — and any structural change to
+the graph fails validation by identity and falls back to a fresh trace
+instead of replaying a stale schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.engine.plan import MAX_PLANS, BufferPool, StepPlanner
+
+
+def _loss(w, b, x, extra_term=False):
+    """A small graph with shared nodes, a fan-in, and a no-grad input."""
+    h = (x.matmul(w) + b).relu()
+    out = (h * h).sum() + h.sum()
+    if extra_term:
+        out = out + (h * 2.0).sum()
+    return out
+
+
+def _grads(params):
+    return [None if p.grad is None else np.array(p.grad, copy=True)
+            for p in params]
+
+
+@pytest.fixture()
+def setup(rng):
+    w = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+    b = Tensor(rng.standard_normal(4), requires_grad=True)
+    x = Tensor(rng.standard_normal((8, 6)))
+    return w, b, x
+
+
+def _taped_step(planner, w, b, x, **kwargs):
+    w.grad = b.grad = None
+    with planner.recording():
+        loss = _loss(w, b, x, **kwargs)
+        planner.backward(loss)
+    return _grads([w, b])
+
+
+def _sweep_step(w, b, x, **kwargs):
+    w.grad = b.grad = None
+    _loss(w, b, x, **kwargs).backward()
+    return _grads([w, b])
+
+
+def test_replay_matches_sweep_bitwise(setup):
+    w, b, x = setup
+    planner = StepPlanner()
+    for step in range(4):
+        taped = _taped_step(planner, w, b, x)
+        plain = _sweep_step(w, b, x)
+        for got, want in zip(taped, plain):
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want), f"step {step}"
+    assert planner.traces == 1
+    assert planner.replays == 3
+    assert planner.fallbacks == 0
+
+
+def test_structure_change_falls_back_and_retraces(setup):
+    w, b, x = setup
+    planner = StepPlanner()
+    _taped_step(planner, w, b, x)
+    # Different node count -> plan cache miss -> fresh trace.
+    taped = _taped_step(planner, w, b, x, extra_term=True)
+    assert np.array_equal(taped[0], _sweep_step(w, b, x, extra_term=True)[0])
+    assert planner.traces == 2
+    assert planner.fallbacks == 0
+    # Both structures now have plans; each replays.
+    _taped_step(planner, w, b, x)
+    _taped_step(planner, w, b, x, extra_term=True)
+    assert planner.replays == 2
+
+
+def test_same_size_different_wiring_falls_back(rng):
+    """Two graphs with equal node counts but different edges must not
+    share a replay — validation catches the rewiring by identity."""
+    a = Tensor(rng.standard_normal(5), requires_grad=True)
+    c = Tensor(rng.standard_normal(5), requires_grad=True)
+    planner = StepPlanner()
+
+    def step(first):
+        a.grad = c.grad = None
+        with planner.recording():
+            # Same op count either way; the fan-in target differs.
+            base = (a * c) if first else (c * a)
+            loss = (base.relu() + (a if first else c)).sum()
+            planner.backward(loss)
+        return _grads([a, c])
+
+    step(True)
+    got = step(False)
+    assert planner.fallbacks == 1 and planner.traces == 2
+    a.grad = c.grad = None
+    ((c * a).relu() + c).sum().backward()
+    want = _grads([a, c])
+    assert np.array_equal(got[0], want[0])
+    assert np.array_equal(got[1], want[1])
+
+
+def test_off_tape_parent_swap_falls_back(rng):
+    """Replacing an identity-stable leaf (what ``load_state_dict`` or a
+    memo invalidation does) must invalidate the plan."""
+    w1 = Tensor(rng.standard_normal(4), requires_grad=True)
+    w2 = Tensor(rng.standard_normal(4), requires_grad=True)
+    planner = StepPlanner()
+
+    def step(w):
+        w.grad = None
+        with planner.recording():
+            loss = (w * 3.0).relu().sum()
+            planner.backward(loss)
+
+    step(w1)
+    step(w1)
+    assert planner.replays == 1
+    step(w2)  # same structure and size, different leaf object
+    assert planner.fallbacks == 1 and planner.traces == 2
+    w2.grad = None
+    (w2 * 3.0).relu().sum().backward()
+    step(w2)
+
+
+def test_non_scalar_root_rejected(setup):
+    w, b, x = setup
+    planner = StepPlanner()
+    with planner.recording():
+        out = x.matmul(w) + b
+        with pytest.raises(ValueError, match="scalar"):
+            planner.backward(out)
+
+
+def test_plan_cache_bounded(rng):
+    planner = StepPlanner()
+    v = Tensor(rng.standard_normal(3), requires_grad=True)
+    for depth in range(1, MAX_PLANS + 3):
+        v.grad = None
+        with planner.recording():
+            t = v
+            for _ in range(depth):
+                t = t * 1.5
+            planner.backward(t.sum())
+    assert len(planner._plans) <= MAX_PLANS
+    assert planner.traces == MAX_PLANS + 2
+
+
+def test_rowsparse_gather_replay(rng):
+    """Embedding-style gathers produce RowSparseGrad leaves; replay must
+    keep them sparse-for-lazy semantics identical to the sweep."""
+    table = Tensor(rng.standard_normal((10, 4)), requires_grad=True)
+    idx = np.array([1, 3, 3, 7])
+    planner = StepPlanner()
+
+    def taped():
+        table.grad = None
+        with planner.recording():
+            loss = table.take_rows(idx).sum()
+            planner.backward(loss)
+        return table.grad
+
+    def plain():
+        table.grad = None
+        table.take_rows(idx).sum().backward()
+        return table.grad
+
+    for _ in range(3):
+        got, want = taped(), plain()
+        got = got.to_dense() if hasattr(got, "to_dense") else got
+        want = want.to_dense() if hasattr(want, "to_dense") else want
+        assert np.array_equal(got, want)
+    assert planner.replays == 2
+
+
+def test_stats_roundtrip():
+    planner = StepPlanner()
+    planner.traces, planner.replays, planner.fallbacks = 2, 17, 1
+    fresh = StepPlanner()
+    fresh.load_stats(planner.stats())
+    assert fresh.stats() == {"traces": 2, "replays": 17, "fallbacks": 1}
+
+
+class TestBufferPool:
+    def test_reuses_per_key(self):
+        pool = BufferPool()
+        a = pool.ones((3, 2), np.float64)
+        assert a is pool.ones((3, 2), np.float64)
+        assert a is not pool.ones((3, 2), np.float32)
+        assert a is not pool.filled((3, 2), np.float64, 0.0)
+        assert np.array_equal(a, np.ones((3, 2)))
+
+    def test_buffers_are_read_only(self):
+        pool = BufferPool()
+        buf = pool.ones((2,), np.float64)
+        with pytest.raises(ValueError):
+            buf[0] = 5.0
+
+    def test_clear(self):
+        pool = BufferPool()
+        a = pool.ones((2,), np.float64)
+        pool.clear()
+        assert a is not pool.ones((2,), np.float64)

@@ -1,0 +1,84 @@
+"""Step-tape on/off training parity (ISSUE 6 acceptance criteria).
+
+The contract: ``REPRO_TAPE=1`` (trace the first step of each graph
+structure, replay the plan afterwards) and ``REPRO_TAPE=0`` (plain
+per-step dict sweep) follow the *identical* floating-point and RNG
+trajectory. Verified via :func:`repro.train.fingerprint.
+training_fingerprint` — parameters, loss curve, and every reachable RNG
+position hash-equal — for all four roster models, including a
+kill-and-resume mid-training under the tape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import create_model
+from repro.engine.plan import tape_mode
+from repro.train import TrainConfig, train_model
+from repro.train.fingerprint import training_fingerprint
+
+MODELS = ("BPR", "LightGCN", "KGAT", "Firzen")
+
+
+def _config(epochs: int = 3) -> TrainConfig:
+    return TrainConfig(epochs=epochs, eval_every=2, batch_size=64,
+                       learning_rate=0.05, patience=10)
+
+
+def _train(name, dataset, tape_on, **kwargs):
+    model = create_model(name, dataset, embedding_dim=16, seed=0)
+    with tape_mode(tape_on):
+        result = train_model(model, dataset, _config(), **kwargs)
+    return model, result
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_tape_on_off_fingerprints_match(model_name, tiny_dataset):
+    taped_model, taped_result = _train(model_name, tiny_dataset, True)
+    plain_model, plain_result = _train(model_name, tiny_dataset, False)
+
+    taped = training_fingerprint(taped_model, taped_result)
+    plain = training_fingerprint(plain_model, plain_result)
+    assert taped["combined"] == plain["combined"], (
+        f"{model_name}: taped vs untaped fingerprints diverged "
+        f"({ {k: (taped[k], plain[k]) for k in taped if taped[k] != plain[k]} })")
+
+    # The tape must actually have been exercised, not silently skipped.
+    assert taped_result.tape_stats is not None
+    assert taped_result.tape_stats["replays"] > 0
+    assert plain_result.tape_stats is None
+
+
+class _Killed(Exception):
+    pass
+
+
+@pytest.mark.parametrize("model_name", ("BPR", "Firzen"))
+def test_tape_kill_resume_matches_untaped(model_name, tiny_dataset,
+                                          tmp_path):
+    """Kill a taped run mid-training, resume it (plans re-trace — they
+    are structural, never serialized), and require the final fingerprint
+    to equal an uninterrupted *untaped* run's."""
+    def kill_hook(epoch, model):
+        if epoch == 1:
+            raise _Killed()
+
+    with pytest.raises(_Killed):
+        _train(model_name, tiny_dataset, True,
+               snapshot_path=tmp_path / "tape.npz", epoch_hook=kill_hook)
+
+    resumed_model, resumed_result = _train(
+        model_name, tiny_dataset, True, snapshot_path=tmp_path / "tape.npz")
+    plain_model, plain_result = _train(model_name, tiny_dataset, False)
+
+    resumed = training_fingerprint(resumed_model, resumed_result)
+    plain = training_fingerprint(plain_model, plain_result)
+    assert resumed["combined"] == plain["combined"]
+
+    # Counters survive the snapshot: the resumed run continues the
+    # killed run's totals (>= one trace per segment) instead of
+    # restarting them.
+    stats = resumed_result.tape_stats
+    assert stats["traces"] >= 2
+    assert stats["replays"] > 0
