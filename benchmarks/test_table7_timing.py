@@ -28,10 +28,28 @@ real-model graphs are tens-to-hundreds of nodes of numpy-heavy
 closures — so taping is roughly neutral here (within measurement
 noise); the wins it was hoped to unlock only materialize on deep
 cheap-op graphs. The assertions gate on "no regression", not a gain.
+
+Backend addendum: the opt-in ``fast`` array backend (float32 params,
+pooled replay buffers, accelerated scatter kernels; ``REPRO_BACKEND=
+fast``) vs the bit-exact reference tier, interleaved rotated-order
+rounds on the propagation-bound LightGCN fixtures. The honest result:
+~1.3-1.4x, not the 2.3x the PR 2 snapshot recorded for the raw
+``PARAM_DTYPE=float32`` flip — that number predates the interleaved
+methodology (the fixed measurement order handed the first-measured
+mode an undecayed CPU clock, the same artifact the optimizer addendum
+documents), and the float64 reference it was measured against has
+since been made ~2x faster at default settings (row-sparse gradients,
+fused kernels, engine folding), which compresses the dtype ratio.
+Python graph construction and closure dispatch — identical in both
+tiers — now bound the step; the remaining fast-tier headroom is
+torch/cupy dispatch on hosts that have them. Gates are no-regression
+floors.
 """
 
 from _shared import get_dataset, get_trained_model, write_result
-from repro.analysis.timing import (breakdown_rows, catalog_dominated_dataset,
+from repro.analysis.timing import (breakdown_rows,
+                                   catalog_dominated_dataset,
+                                   measure_backend_training_throughput,
                                    measure_feature_sets,
                                    measure_forward_throughput,
                                    measure_ranking_throughput,
@@ -111,6 +129,15 @@ def test_table7_timing(benchmark):
     tape_rows = measure_tape_training_throughput(
         catalog, model_names=("BPR",), epochs=12, embedding_dim=64)
 
+    backend_rows = measure_backend_training_throughput(
+        dataset, model_names=("LightGCN",), epochs=8, embedding_dim=32)
+    deep_backend_rows = measure_backend_training_throughput(
+        dataset, model_names=("LightGCN",), epochs=8, embedding_dim=32,
+        num_layers=3)
+    for row in deep_backend_rows:
+        row.model = f"{row.model} (3 layers)"
+    backend_rows += deep_backend_rows
+
     forward_rows = measure_forward_throughput(
         dataset, model_names=("Firzen", "KGAT"), epochs=8, repeats=3)
     forward_table = []
@@ -161,6 +188,16 @@ def test_table7_timing(benchmark):
                        "real-model backward time is numpy closure "
                        "work, not sweep bookkeeping; see the per-"
                        "phase table's Tape speedup column)")
+        + "\n\n"
+        + format_table([row.as_row() for row in backend_rows],
+                       "Backend addendum: opt-in fast tier (float32 "
+                       "params, pooled replay, accelerated scatter; "
+                       "tolerance parity, not bit parity) vs the "
+                       "bit-exact reference backend (beauty/small, "
+                       "interleaved rotated-order rounds; the PR 2 "
+                       "float32 snapshot of 2.3x predates this "
+                       "methodology and a ~2x-faster reference — see "
+                       "module docstring)")
         + "\n\n"
         + format_table(forward_table,
                        "Forward addendum: fused relation-batched "
@@ -215,6 +252,19 @@ def test_table7_timing(benchmark):
     stats = taped_bd.tape_stats
     assert stats is not None and stats["fallbacks"] == 0
     assert stats["replays"] > stats["traces"]
+
+    # The fast backend must deliver a real win on the propagation-
+    # bound fixtures — the reference machine measures ~1.3-1.4x under
+    # interleaved rotated-order rounds (see the module docstring for
+    # why the PR 2 snapshot's 2.3x does not survive fair measurement),
+    # so 1.1 is the noise-tolerant floor — and the reference column
+    # must stay real (positive) with the tiers correctly recorded.
+    for row in backend_rows:
+        assert row.reference_epochs_per_second > 0
+        assert row.fast_epochs_per_second > 0
+        assert row.reference_info["param_dtype"] == "float64"
+        assert row.fast_info["param_dtype"] == "float32"
+        assert row.speedup >= 1.1
 
     # The fused relation-batched kernels + memo must never regress
     # below the legacy per-relation path (both train bit-identical

@@ -20,7 +20,18 @@ Firzen variants that consume increasing feature sets: BA only, +KA, +VA,
   ``REPRO_TAPE``) vs the per-step dict sweep — a ``taped`` mode in the
   step breakdown and epochs/second via
   :func:`measure_tape_training_throughput`, again training
-  bit-identical models in either mode.
+  bit-identical models in either mode;
+* array backend: the float64 bit-exact reference tier vs the opt-in
+  accelerated tier (:mod:`repro.backend`, ``REPRO_BACKEND``) via
+  :func:`measure_backend_training_throughput` — the one addendum whose
+  two modes are *not* bit-identical (float32 params), so it reports
+  side-by-side numbers rather than a parity-backed speedup.
+
+Every row emitted here records the runtime context it was measured
+under — backend name, parameter dtype, effective BLAS thread count
+(:func:`runtime_columns`) — so recorded tables are attributable: a
+number measured on the fast tier can never masquerade as a reference
+measurement.
 """
 
 from __future__ import annotations
@@ -28,11 +39,13 @@ from __future__ import annotations
 import os
 import time
 from contextlib import contextmanager, nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import engine as _engine
+from ..backend import backend_mode as _backend_mode
+from ..backend import runtime_info as _runtime_info
 from ..autograd import optim as ag_optim
 from ..autograd.forward_cache import ForwardMemo
 from ..autograd.optim import Adam, clip_grad_norm
@@ -49,6 +62,21 @@ from ..train.sampler import BPRSampler
 from ..train.trainer import TrainConfig, train_model
 
 
+def runtime_columns() -> dict:
+    """Render-ready columns naming the runtime a measurement ran under:
+    active backend, parameter dtype, effective BLAS thread count.
+
+    Captured at row-*construction* time (every timing dataclass takes it
+    as a ``default_factory`` field), i.e. while the measurement's
+    backend context is still active — not at render time, when the
+    ambient backend may have changed.
+    """
+    info = _runtime_info()
+    return {"Backend": info["backend"],
+            "Param dtype": info["param_dtype"],
+            "BLAS threads": info["blas_threads"]}
+
+
 @dataclass
 class TimingRow:
     """One Table VII row."""
@@ -57,6 +85,18 @@ class TimingRow:
     train_seconds: float
     cold_inference_ms_per_user: float
     warm_inference_ms_per_user: float
+    runtime: dict = field(default_factory=runtime_columns)
+
+    def as_row(self) -> dict:
+        return {
+            "Features": self.label,
+            "Train (s)": round(self.train_seconds, 2),
+            "Cold inference (ms/user)": round(
+                self.cold_inference_ms_per_user, 3),
+            "Warm inference (ms/user)": round(
+                self.warm_inference_ms_per_user, 3),
+            **self.runtime,
+        }
 
 
 def _inference_ms_per_user(model: FirzenModel, users: np.ndarray,
@@ -134,6 +174,7 @@ class ThroughputResult:
     single_query_users_per_second: float
     loop_users_per_second: float
     batched_users_per_second: float
+    runtime: dict = field(default_factory=runtime_columns)
 
     @property
     def speedup(self) -> float:
@@ -161,7 +202,8 @@ class ThroughputResult:
                  "Users": self.num_users,
                  "Candidates": self.num_candidates,
                  "Users/s": round(users_per_s, 1),
-                 "Speedup": round(speedup, 1)}
+                 "Speedup": round(speedup, 1),
+                 **self.runtime}
                 for label, users_per_s, speedup in rows]
 
 
@@ -245,6 +287,7 @@ class TrainingThroughputRow:
     #: this model's graphs — when False the two schedules are the same
     #: code path and their ratio is pure measurement noise.
     folded: bool = False
+    runtime: dict = field(default_factory=runtime_columns)
 
     @property
     def fold_speedup(self) -> float:
@@ -260,6 +303,7 @@ class TrainingThroughputRow:
                 self.layerwise_epochs_per_second, 2),
             "Fold speedup": (round(self.fold_speedup, 2) if self.folded
                              else "guarded off"),
+            **self.runtime,
         }
 
 
@@ -424,6 +468,7 @@ class StepPhaseBreakdown:
     extra_ms: float = 0.0
     #: step-plan trace/replay counters; only the ``taped`` mode has them
     tape_stats: dict | None = None
+    runtime: dict = field(default_factory=runtime_columns)
 
     PHASES = ("sample", "forward", "backward", "clip", "step", "extra")
 
@@ -580,6 +625,7 @@ def breakdown_rows(breakdowns: dict[str, StepPhaseBreakdown]) -> list[dict]:
             row["Taped (ms/step)"] = round(taped_ms, 3)
             row["Tape speedup"] = round(
                 sparse_ms / max(taped_ms, 1e-9), 2)
+        row.update(sparse.runtime)
         rows.append(row)
     return rows
 
@@ -596,6 +642,7 @@ class SparseThroughputRow:
     epochs: int
     sparse_epochs_per_second: float
     dense_epochs_per_second: float
+    runtime: dict = field(default_factory=runtime_columns)
 
     @property
     def speedup(self) -> float:
@@ -609,6 +656,7 @@ class SparseThroughputRow:
             "Sparse (epochs/s)": round(self.sparse_epochs_per_second, 2),
             "Dense (epochs/s)": round(self.dense_epochs_per_second, 2),
             "Sparse speedup": round(self.speedup, 2),
+            **self.runtime,
         }
 
 
@@ -660,6 +708,7 @@ class ForwardModeRow:
     #: every repeat, which would overstate reuse.
     cache_hits: int
     cache_misses: int
+    runtime: dict = field(default_factory=runtime_columns)
 
     @property
     def speedup(self) -> float:
@@ -680,6 +729,7 @@ class ForwardModeRow:
             "Speedup vs legacy": round(self.speedup, 2),
             "Memo hits/run": self.cache_hits,
             "Memo misses/run": self.cache_misses,
+            **self.runtime,
         }
 
 
@@ -741,6 +791,7 @@ class TapeThroughputRow:
     epochs: int
     taped_epochs_per_second: float
     untaped_epochs_per_second: float
+    runtime: dict = field(default_factory=runtime_columns)
 
     @property
     def speedup(self) -> float:
@@ -755,6 +806,7 @@ class TapeThroughputRow:
             "Untaped (epochs/s)": round(
                 self.untaped_epochs_per_second, 2),
             "Tape speedup": round(self.speedup, 2),
+            **self.runtime,
         }
 
 
@@ -786,6 +838,93 @@ def measure_tape_training_throughput(
             model=name, epochs=epochs,
             taped_epochs_per_second=taped_eps,
             untaped_epochs_per_second=untaped_eps,
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# backend addendum: reference float64 tier vs the accelerated fast tier
+# ----------------------------------------------------------------------
+@dataclass
+class BackendThroughputRow:
+    """Epochs/second on the reference backend vs the fast tier.
+
+    Unlike every other addendum here, the two modes are *not*
+    bit-identical — the fast tier trains float32 parameters through
+    whatever accelerated kernels the host offers — so this row reports
+    honest side-by-side numbers (with each mode's runtime context)
+    rather than a parity-backed speedup. Trained-metric closeness is
+    pinned separately by the tolerance-tiered parity suite
+    (``tests/backend/``).
+    """
+
+    model: str
+    epochs: int
+    reference_epochs_per_second: float
+    fast_epochs_per_second: float
+    #: :func:`repro.backend.runtime_info` captured inside each mode's
+    #: measurement context
+    reference_info: dict = field(default_factory=dict)
+    fast_info: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.fast_epochs_per_second / max(
+            self.reference_epochs_per_second, 1e-12)
+
+    def as_row(self) -> dict:
+        return {
+            "Model": self.model,
+            "Epochs": self.epochs,
+            "Reference (epochs/s)": round(
+                self.reference_epochs_per_second, 2),
+            "Fast (epochs/s)": round(self.fast_epochs_per_second, 2),
+            "Backend speedup": round(self.speedup, 2),
+            "Reference dtype": self.reference_info.get("param_dtype", "?"),
+            "Fast dtype": self.fast_info.get("param_dtype", "?"),
+            "BLAS threads": self.fast_info.get("blas_threads", "?"),
+        }
+
+
+def measure_backend_training_throughput(
+        dataset: RecDataset, model_names: tuple = ("LightGCN",),
+        epochs: int = 8, seed: int = 0, repeats: int = 3,
+        train_config: TrainConfig | None = None,
+        **model_kwargs) -> list[BackendThroughputRow]:
+    """Epochs/second per model, reference backend vs fast tier.
+
+    Same per-run protocol as :func:`measure_training_throughput` (fresh
+    model per run, one warm-up step outside the timer, final-epoch
+    validation included), but the two backends are measured in
+    *interleaved rounds with the mode order rotated per round* (the
+    :func:`measure_step_breakdown` methodology), keeping each mode's
+    best round: a fixed order would hand whichever backend runs first
+    the benefit of an undecayed CPU clock and bias the ratio the CI
+    floor gates on.
+    """
+    train_config = train_config or TrainConfig(batch_size=512,
+                                               learning_rate=0.05)
+    modes = ("reference", "fast")
+    rows = []
+    for name in model_names:
+        best = dict.fromkeys(modes, 0.0)
+        info: dict = {}
+        for round_no in range(max(repeats, 1)):
+            shift = round_no % len(modes)
+            order = modes[shift:] + modes[:shift]
+            for mode in order:
+                with _backend_mode(mode):
+                    eps = _epochs_per_second(
+                        name, dataset, epochs, train_config, seed,
+                        repeats=1, **model_kwargs)
+                    info[mode] = _runtime_info()
+                best[mode] = max(best[mode], eps)
+        rows.append(BackendThroughputRow(
+            model=name, epochs=epochs,
+            reference_epochs_per_second=best["reference"],
+            fast_epochs_per_second=best["fast"],
+            reference_info=info["reference"],
+            fast_info=info["fast"],
         ))
     return rows
 

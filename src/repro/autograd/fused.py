@@ -55,6 +55,7 @@ import os
 
 import numpy as np
 
+from ..backend import active as _active_backend
 from . import rowsparse
 from .rowsparse import GradParts, RowSparseGrad
 from .tensor import Tensor
@@ -219,11 +220,12 @@ def attention_message(nodes: Tensor, w_stack: Tensor, rel_emb: Tensor,
 
     # Fancy row gathers beat np.take(out=...) here; the fresh arrays
     # double as the stored forward intermediates.
+    backend = _active_backend()
     x_h = src[heads]
     x_t = src[tails]
     for r, s, e in plan.rels:
-        np.matmul(x_t[s:e], Wd[r], out=proj_t[s:e])
-        np.matmul(x_h[s:e], Wd[r], out=mm_h[s:e])
+        backend.matmul_out(x_t[s:e], Wd[r], proj_t[s:e])
+        backend.matmul_out(x_h[s:e], Wd[r], mm_h[s:e])
         np.add(mm_h[s:e], Ed[r], out=mm_h[s:e])
     np.tanh(mm_h, out=th)
     np.multiply(proj_t, th, out=pr)
@@ -238,11 +240,11 @@ def attention_message(nodes: Tensor, w_stack: Tensor, rel_emb: Tensor,
     np.clip(shifted, -60.0, 60.0, out=v_scratch)
     np.exp(v_scratch, out=expv)
     exp2d = expv.reshape(-1, 1)
-    denom = indicator @ exp2d
-    denomp_eps = (indicator_t @ denom) + 1e-12
+    denom = backend.spmm(indicator, exp2d)
+    denomp_eps = backend.spmm(indicator_t, denom) + 1e-12
     alpha = exp2d / denomp_eps
     weighted = np.multiply(x_t, alpha, out=g_xt)   # reused later
-    neighborhood = indicator @ weighted
+    neighborhood = backend.spmm(indicator, weighted)
 
     requires = (nodes.requires_grad or w_stack.requires_grad
                 or rel_emb.requires_grad)
@@ -252,15 +254,15 @@ def attention_message(nodes: Tensor, w_stack: Tensor, rel_emb: Tensor,
         return out
 
     def backward(g):
-        g_weighted = indicator.T @ g
+        g_weighted = backend.spmm_t(indicator, g)
         # g_xh is free until the projection backward; borrow it for the
         # (n, d) product feeding alpha's unbroadcast row-sum.
         sq = np.multiply(g_weighted, x_t, out=g_xh)
         g_alpha = sq.sum(axis=1, keepdims=True)
         g_values = np.multiply(g_weighted, alpha, out=g_xt)
         g_exp2d = g_alpha / denomp_eps
-        g_exp2d = g_exp2d + (indicator.T @ (
-            indicator_t.T @ (-g_alpha * exp2d / denomp_eps ** 2)))
+        g_exp2d = g_exp2d + backend.spmm_t(indicator, backend.spmm_t(
+            indicator_t, -g_alpha * exp2d / denomp_eps ** 2))
         g_exp = g_exp2d.reshape(-1)
         np.multiply(g_exp, expv, out=v_scratch2)
         inside = (shifted >= -60.0) & (shifted <= 60.0)
@@ -277,12 +279,12 @@ def attention_message(nodes: Tensor, w_stack: Tensor, rel_emb: Tensor,
         grad_e = np.zeros_like(Ed)
         for r, s, e in plan.rels:
             grad_e[r] = g_mm_h[s:e].sum(axis=0)
-            np.matmul(g_mm_h[s:e], Wd[r].T, out=g_xh[s:e])
-            grad_w[r] = x_t[s:e].T @ g_projt[s:e]
-            grad_w[r] += x_h[s:e].T @ g_mm_h[s:e]
+            backend.matmul_out(g_mm_h[s:e], Wd[r].T, g_xh[s:e])
+            grad_w[r] = backend.matmul(x_t[s:e].T, g_projt[s:e])
+            grad_w[r] += backend.matmul(x_h[s:e].T, g_mm_h[s:e])
             # g_xt accumulates the projection-path gradient on top of
             # the attention-values path already stored there.
-            np.matmul(g_projt[s:e], Wd[r].T, out=mm_scratch[s:e])
+            backend.matmul_out(g_projt[s:e], Wd[r].T, mm_scratch[s:e])
             g_values[s:e] += mm_scratch[s:e]
         # Per-relation scatters in the replaced graph's arrival order:
         # tails then heads, relations ascending.
@@ -344,11 +346,13 @@ def transr_scores(entity_emb: Tensor, w_list: list, rel_emb: Tensor,
     m = len(heads)
     entity_dim = src.shape[1]
     k = Ed.shape[1]                      # relation_dim
+    backend = _active_backend()
     x_h, x_t = src[h_sorted], src[t_sorted]
     diff = np.empty((m, k), dtype=dtype)
     for r, s, e in rels:
         w_r = w_list[r].data
-        diff[s:e] = (x_h[s:e] @ w_r + Ed[r]) - (x_t[s:e] @ w_r)
+        diff[s:e] = (backend.matmul(x_h[s:e], w_r) + Ed[r]
+                     ) - backend.matmul(x_t[s:e], w_r)
     scores_sorted = -(diff * diff).sum(axis=1)
     out_data = scores_sorted[inverse]
 
@@ -374,12 +378,14 @@ def transr_scores(entity_emb: Tensor, w_list: list, rel_emb: Tensor,
             d_diff = t1 + t1
             d_t_mm = -d_diff
             grad_e[r] = d_diff.sum(axis=0)
-            grad_w[r] = GradParts([x_h[s:e].T @ d_diff,
-                                   x_t[s:e].T @ d_t_mm])
+            grad_w[r] = GradParts([backend.matmul(x_h[s:e].T, d_diff),
+                                   backend.matmul(x_t[s:e].T, d_t_mm)])
             parts.append(_gather_grad(entity_emb, h_sorted[s:e], None,
-                                      d_diff @ w_r.T, shape, dtype))
+                                      backend.matmul(d_diff, w_r.T),
+                                      shape, dtype))
             parts.append(_gather_grad(entity_emb, t_sorted[s:e], None,
-                                      d_t_mm @ w_r.T, shape, dtype))
+                                      backend.matmul(d_t_mm, w_r.T),
+                                      shape, dtype))
         return tuple([GradParts(parts), grad_e] + grad_w)
 
     out._parents = tuple([entity_emb, rel_emb] + list(w_list))

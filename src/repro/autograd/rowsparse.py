@@ -46,11 +46,13 @@ def enabled() -> bool:
 def _bincount_rows(inverse: np.ndarray, values: np.ndarray,
                    num_rows: int, cols: int) -> np.ndarray:
     """Sum ``values`` rows into ``num_rows`` buckets via one flat
-    bincount (float64 accumulation, input-order sums per bucket)."""
-    flat = (inverse[:, None] * cols + np.arange(cols)[None, :]).ravel()
-    block = np.bincount(flat, weights=values.ravel(),
-                        minlength=num_rows * cols)
-    return block.reshape(num_rows, cols)
+    bincount (float64 accumulation, input-order sums per bucket).
+
+    Dispatches through the active array backend's scatter kernel
+    (:meth:`repro.backend.base.ArrayBackend.bincount_rows`, whose
+    reference implementation is exactly this bincount)."""
+    from ..backend import active
+    return active().bincount_rows(inverse, values, num_rows, cols)
 
 
 class RowSparseGrad:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..backend import active as _active_backend
 from .tensor import Tensor
 
 
@@ -39,12 +40,12 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
             f"{type(matrix).__name__}")
     if matrix.format != "csr":
         matrix = matrix.tocsr()
-    data = matrix @ x.data
+    data = _active_backend().spmm(matrix, x.data)
 
     out = Tensor(data, requires_grad=x.requires_grad)
     if x.requires_grad:
         def backward(g):
-            return (matrix.T @ g,)
+            return (_active_backend().spmm_t(matrix, g),)
 
         out._parents = (x,)
         out._backward = backward

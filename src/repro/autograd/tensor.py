@@ -9,12 +9,21 @@ The design is deliberately simple: each :class:`Tensor` stores its value,
 its parents, and a closure that pushes the upstream gradient to the parents.
 ``backward()`` runs a reverse topological sweep. Gradients are validated
 against central finite differences in ``tests/autograd/test_gradcheck.py``.
+
+The compute-dominant primitives — matmuls, the transcendental
+elementwise kernels, embedding-row gathers — dispatch through the
+active array backend (:func:`repro.backend.active`, looked up per call
+like every other toggle in this repo). The reference backend's methods
+are the exact NumPy expressions these ops always ran, so the default
+path is bit-identical to history; the fast tier swaps kernels inside
+the same closures.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..backend import active as _active_backend
 from . import rowsparse
 from . import tape as _tape
 from .rowsparse import RowSparseGrad
@@ -328,7 +337,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data @ other.data
+        data = _active_backend().matmul(self.data, other.data)
 
         def backward(g):
             if self.data.ndim == 1 and other.data.ndim == 1:
@@ -341,8 +350,9 @@ class Tensor:
                 grad_self = np.outer(g, other.data)
                 grad_other = self.data.T @ g
                 return (grad_self, grad_other)
-            grad_self = g @ np.swapaxes(other.data, -1, -2)
-            grad_other = np.swapaxes(self.data, -1, -2) @ g
+            backend = _active_backend()
+            grad_self = backend.matmul(g, np.swapaxes(other.data, -1, -2))
+            grad_other = backend.matmul(np.swapaxes(self.data, -1, -2), g)
             return (
                 _unbroadcast(grad_self, self.shape),
                 _unbroadcast(grad_other, other.shape),
@@ -419,7 +429,7 @@ class Tensor:
     # nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        data = _active_backend().exp(self.data)
 
         def backward(g):
             return (g * data,)
@@ -427,7 +437,7 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
+        data = _active_backend().log(self.data)
 
         def backward(g):
             return (g / self.data,)
@@ -435,7 +445,7 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
+        data = _active_backend().sqrt(self.data)
 
         def backward(g):
             return (g * 0.5 / np.maximum(data, 1e-12),)
@@ -443,7 +453,7 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        data = _active_backend().sigmoid(self.data)
 
         def backward(g):
             return (g * data * (1.0 - data),)
@@ -451,7 +461,7 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        data = _active_backend().tanh(self.data)
 
         def backward(g):
             return (g * (1.0 - data ** 2),)
@@ -479,7 +489,7 @@ class Tensor:
         data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
 
         def backward(g):
-            sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+            sig = _active_backend().sigmoid(self.data)
             return (g * sig,)
 
         return self._make(data, (self,), backward)
@@ -489,14 +499,14 @@ class Tensor:
         data = -(np.maximum(-self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data))))
 
         def backward(g):
-            sig = 1.0 / (1.0 + np.exp(-np.clip(-self.data, -60.0, 60.0)))
+            sig = _active_backend().sigmoid(-self.data)
             return (g * sig,)
 
         return self._make(data, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        expd = np.exp(shifted)
+        expd = _active_backend().exp(shifted)
         data = expd / expd.sum(axis=axis, keepdims=True)
 
         def backward(g):
@@ -564,7 +574,7 @@ class Tensor:
         """Gather rows by integer index; the embedding-lookup primitive."""
         indices = np.asarray(indices, dtype=np.int64)
         src = self._gather_source(indices)
-        data = src[indices]
+        data = _active_backend().gather_rows(src, indices)
         shape, dtype = src.shape, src.dtype
 
         def backward(g):

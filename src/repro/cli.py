@@ -30,7 +30,11 @@ Commands
     stage (the CI pipeline smoke interrupts after ``train`` and
     asserts the resumed result fingerprint matches a cold run).
     ``REPRO_BENCH_EPOCHS`` / ``REPRO_BENCH_SIZE`` (or ``--epochs`` /
-    ``--size``) override the spec.
+    ``--size``) override the spec. ``--backend`` pins the array backend
+    (``reference`` — the bit-exact default — or ``fast``) into the spec,
+    which folds it into the train content address; ``--metrics-out``
+    writes the run's metric dataclasses as JSON (the CI fast-parity
+    gate compares a fast run's file against a reference run's).
 ``experiments``
     List the named experiment presets, the registered scenario
     transforms, and the artifact store's cached stage counts.
@@ -50,7 +54,16 @@ Commands
     (the CI no-regression gate). ``--tape-compare`` benchmarks step-tape
     replay (``REPRO_TAPE=1``) against the per-step dict sweep on the
     same catalog-dominated fixture, with an optional
-    ``--min-tape-speedup`` floor. ``--breakdown`` adds the per-phase
+    ``--min-tape-speedup`` floor. ``--backend-compare`` benchmarks the
+    bit-exact reference backend against the opt-in accelerated tier
+    (``REPRO_BACKEND=fast``: float32 params, pooled replay buffers,
+    optional torch/cupy dispatch) in interleaved order-rotated rounds —
+    the one comparison whose two modes are tolerance-parity rather than
+    bit-identical — with ``--min-backend-speedup`` gating the fast/
+    reference ratio and ``--min-throughput`` doubling as a
+    no-regression floor for the reference column; ``--num-layers``
+    deepens the propagation stack (the recorded table uses the 3-layer
+    LightGCN fixture). ``--breakdown`` adds the per-phase
     (sample/forward/backward/clip/step/extra) training-step cost table
     for any model, heterogeneous ones included — taped, sparse-untaped,
     and dense columns.
@@ -248,6 +261,7 @@ def cmd_serve(args) -> int:
 
 def cmd_bench(args) -> int:
     from .analysis.timing import (breakdown_rows, catalog_dominated_dataset,
+                                  measure_backend_training_throughput,
                                   measure_forward_throughput,
                                   measure_sparse_training_throughput,
                                   measure_step_breakdown,
@@ -282,6 +296,51 @@ def cmd_bench(args) -> int:
         print("--min-tape-speedup only applies with --tape-compare",
               file=sys.stderr)
         return 2
+    if not args.backend_compare and args.min_backend_speedup is not None:
+        print("--min-backend-speedup only applies with --backend-compare",
+              file=sys.stderr)
+        return 2
+    if not args.backend_compare and args.num_layers is not None:
+        print("--num-layers only applies with --backend-compare",
+              file=sys.stderr)
+        return 2
+    if args.backend_compare:
+        if args.sparse_compare or args.forward_compare or args.tape_compare:
+            print("--backend-compare is a separate benchmark; pick one",
+                  file=sys.stderr)
+            return 2
+        dataset = _load_dataset(args.dataset, args.size)
+        model_kwargs = {}
+        if args.num_layers is not None:
+            model_kwargs["num_layers"] = args.num_layers
+        rows = measure_backend_training_throughput(
+            dataset, model_names=tuple(args.models), epochs=args.epochs,
+            seed=args.seed, train_config=_train_config(args),
+            embedding_dim=args.embedding_dim, **model_kwargs)
+        print(format_table(
+            [row.as_row() for row in rows],
+            title="Reference backend vs accelerated fast tier "
+                  f"on {dataset.name} (tolerance parity, not bit parity)"))
+        print_breakdowns(dataset)
+        worst = min(rows, key=lambda row: row.speedup)
+        if args.min_backend_speedup is not None \
+                and worst.speedup < args.min_backend_speedup:
+            print(f"FAIL: {worst.model} fast tier is only "
+                  f"{worst.speedup:.2f}x the reference backend, below "
+                  f"the --min-backend-speedup floor of "
+                  f"{args.min_backend_speedup}", file=sys.stderr)
+            return 1
+        slowest = min(rows,
+                      key=lambda row: row.reference_epochs_per_second)
+        if args.min_throughput is not None \
+                and slowest.reference_epochs_per_second \
+                < args.min_throughput:
+            print(f"FAIL: {slowest.model} reference backend trains at "
+                  f"{slowest.reference_epochs_per_second:.2f} epochs/s, "
+                  f"below the --min-throughput floor of "
+                  f"{args.min_throughput}", file=sys.stderr)
+            return 1
+        return 0
     if args.tape_compare:
         if args.sparse_compare or args.forward_compare:
             print("--tape-compare is a separate benchmark; pick one",
@@ -410,6 +469,16 @@ def cmd_run(args) -> int:
     spec = _resolve_spec(args.spec)
     epochs, size = _run_env_overrides(args)
     spec = spec.with_overrides(epochs=epochs, size=size)
+    if args.backend:
+        import dataclasses as _dc
+        # replace() re-runs __post_init__, which validates the name
+        # against the backend registry; pinning folds the backend into
+        # the train content address (separate artifacts per tier).
+        spec = _dc.replace(spec, backend=args.backend)
+    if args.metrics_out and spec.sweep:
+        print("--metrics-out takes a single-point spec, not a sweep",
+              file=sys.stderr)
+        return 2
     store = ArtifactStore(args.store) if args.store else None
     runner = Runner(store, refresh=args.force)
 
@@ -467,6 +536,16 @@ def cmd_run(args) -> int:
                 rows.append(row)
             print(format_table(rows, title=f"{spec.name}: {name}"))
         fingerprint = run.fingerprint
+        if args.metrics_out:
+            import dataclasses as _dc
+            import json
+            from pathlib import Path
+            payload = {
+                model: {scenario: _dc.asdict(metric)
+                        for scenario, metric in metrics.items()}
+                for model, metrics in run.results.items()}
+            Path(args.metrics_out).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"result fingerprint: {fingerprint}")
     if args.fingerprint_out:
         from pathlib import Path
@@ -581,6 +660,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fingerprint-out", default=None,
                        help="also write the result fingerprint to this "
                             "file (the CI parity gate compares two runs)")
+    p_run.add_argument("--backend", default=None,
+                       choices=("reference", "fast"),
+                       help="pin the array backend into the spec "
+                            "(folds into the train content address; "
+                            "default: follow REPRO_BACKEND)")
+    p_run.add_argument("--metrics-out", default=None,
+                       help="write the run's metrics as JSON to this "
+                            "file (the CI fast-parity gate compares a "
+                            "fast run against a reference run)")
     p_run.set_defaults(func=cmd_run)
 
     p_experiments = sub.add_parser(
@@ -627,6 +715,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --tape-compare: exit nonzero when "
                               "the taped/untaped epochs-per-second ratio "
                               "falls below this floor")
+    p_bench.add_argument("--backend-compare", action="store_true",
+                         help="benchmark the bit-exact reference backend "
+                              "against the accelerated fast tier "
+                              "(REPRO_BACKEND=fast) in interleaved "
+                              "order-rotated rounds")
+    p_bench.add_argument("--min-backend-speedup", type=float, default=None,
+                         help="with --backend-compare: exit nonzero when "
+                              "the fast/reference epochs-per-second "
+                              "ratio falls below this floor "
+                              "(--min-throughput additionally floors the "
+                              "reference column)")
+    p_bench.add_argument("--num-layers", type=int, default=None,
+                         help="with --backend-compare: propagation depth "
+                              "passed to the models (the recorded table "
+                              "uses 3-layer LightGCN)")
     p_bench.add_argument("--breakdown", action="store_true",
                          help="also print the per-phase "
                               "(sample/forward/backward/clip/step) "

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd import fused
-from ..autograd.init import PARAM_DTYPE, xavier_uniform
+from ..autograd.init import param_dtype, xavier_uniform
 from ..autograd.nn import Module
 from ..graphs.ckg import CollaborativeKG
 from .segments import segment_operators, segment_softmax_weighted_sum
@@ -37,7 +37,7 @@ def stacked_relation_projections(rng: np.random.Generator,
     drawn relation-by-relation so the RNG stream and the initial values
     match the historical list of separate per-relation parameters."""
     if num_relations == 0:
-        return Tensor(np.zeros((0, dim, relation_dim), dtype=PARAM_DTYPE),
+        return Tensor(np.zeros((0, dim, relation_dim), dtype=param_dtype()),
                       requires_grad=True)
     blocks = [xavier_uniform(rng, dim, relation_dim).data
               for _ in range(num_relations)]

@@ -29,7 +29,7 @@ def segment_indicator(segment_ids: np.ndarray,
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     n = len(segment_ids)
-    data = np.ones(n, dtype=_init.PARAM_DTYPE)
+    data = np.ones(n, dtype=_init.param_dtype())
     return sp.csr_matrix((data, (segment_ids, np.arange(n))),
                          shape=(num_segments, n))
 

@@ -41,6 +41,7 @@ import numpy as np
 from ..autograd import rowsparse
 from ..autograd.rowsparse import RowSparseGrad
 from ..autograd.tape import StepTape, activate, enabled, run_backward
+from ..backend import active as _active_backend
 
 __all__ = ["BufferPool", "StepPlan", "StepPlanner", "enabled",
            "tape_mode"]
@@ -125,7 +126,7 @@ class StepPlan:
     """One traced backward schedule plus its reusable replay buffers."""
 
     __slots__ = ("routes", "num_tape_nodes", "_ext_indices", "_stable",
-                 "_check", "_slots", "_nones")
+                 "_check", "_slots", "_nones", "_accum")
 
     def __init__(self, routes: list, ext_indices: list, stable: list,
                  check: list, num_tape_nodes: int):
@@ -145,6 +146,10 @@ class StepPlan:
         # replace the sweep's id()-keyed dict.
         self._slots: list = [None] * n
         self._nones = (None,) * n
+        # Pooled accumulation buffers (fast backend only): slot index ->
+        # plan-owned array reused across steps, so the dense grad_sum
+        # folds run as ``np.add(..., out=buf)`` instead of allocating.
+        self._accum: dict = {}
 
     # ------------------------------------------------------------------
     # trace
@@ -237,19 +242,33 @@ class StepPlan:
     # ------------------------------------------------------------------
     # replay
     # ------------------------------------------------------------------
-    def replay(self, resolved: list, grad: np.ndarray) -> None:
+    def replay(self, resolved: list, grad: np.ndarray,
+               pooled: bool = False) -> None:
         """Execute the traced schedule against the current step's
         closures. Mirrors the loop body of
         :func:`repro.autograd.tape.run_backward` exactly — slots stand
         in for the gradient dict, the precomputed routes for its id()
         lookups; every floating-point operation happens in the same
-        order with the same operands."""
+        order with the same operands.
+
+        ``pooled=True`` (the fast backend's replay tier) folds dense
+        same-shape gradient accumulations through plan-owned buffers
+        (``np.add(current, pgrad, out=buf)``) instead of allocating a
+        fresh array per fold. The sum itself is the identical IEEE
+        operation, so pooled replay changes allocation behavior only,
+        never values. Buffer reuse is safe because the schedule is
+        reverse-topological: every contribution to slot ``r`` arrives
+        before entry ``r`` executes, so a slot's buffer is never
+        rewritten after its gradient has been consumed within a step,
+        and leaf ``_accumulate`` copies on first arrival, so no
+        parameter gradient aliases a pooled buffer across steps."""
         slots = self._slots
         slots[:] = self._nones
         slots[0] = grad
         sparse_grad = RowSparseGrad
         first_arrival = rowsparse.first_arrival
         grad_sum = rowsparse.grad_sum
+        accum = self._accum if pooled else None
         for i, routes in enumerate(self.routes):
             node_grad = slots[i]
             if node_grad is None:
@@ -274,6 +293,18 @@ class StepPlan:
                     current = slots[route]
                     if current is None:
                         slots[route] = first_arrival(pgrad)
+                    elif (accum is not None
+                            and type(current) is np.ndarray
+                            and type(pgrad) is np.ndarray
+                            and current.shape == pgrad.shape
+                            and current.dtype == pgrad.dtype):
+                        buf = accum.get(route)
+                        if (buf is None or buf.shape != current.shape
+                                or buf.dtype != current.dtype):
+                            buf = np.empty_like(current)
+                            accum[route] = buf
+                        np.add(current, pgrad, out=buf)
+                        slots[route] = buf
                     else:
                         slots[route] = grad_sum(current, pgrad)
                 else:
@@ -329,7 +360,8 @@ class StepPlanner:
         if plan is not None:
             resolved = plan.validate(self.tape, loss)
             if resolved is not None:
-                plan.replay(resolved, grad)
+                plan.replay(resolved, grad,
+                            pooled=_active_backend().pooled_replay)
                 self.replays += 1
                 # Drop the step's intermediates now, exactly when a
                 # plain sweep would have released them — holding them

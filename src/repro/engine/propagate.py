@@ -17,6 +17,14 @@ source's lifetime: models that rebuild their frozen graphs (cold-start
 adaptation, SGL's per-batch augmentations, LATTICE's re-mining) never
 see stale operators, and dropped graphs take their precompiled plans
 with them — no global registry to leak or to alias recycled ids.
+
+Every sparse multiply a plan issues goes through
+:func:`repro.autograd.sparse.sparse_matmul`, which dispatches on the
+active array backend (:mod:`repro.backend`): the reference backend runs
+the exact historical scipy expression, the fast tier may substitute
+accelerated kernels. The per-dtype operator variants in
+``PropagationPlan._matrices`` are what let a float32 backend multiply
+float32 operators without per-call conversion.
 """
 
 from __future__ import annotations

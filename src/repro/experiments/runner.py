@@ -24,9 +24,11 @@ used to hand-roll.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from dataclasses import dataclass, field
 
+from ..backend import backend_mode
 from ..data.io import load_dataset, save_dataset
 from ..eval.metrics import MetricResult
 from ..eval.protocol import ScenarioResult, evaluate_model
@@ -161,6 +163,16 @@ class Runner:
                             embedding_dim=spec.embedding_dim,
                             seed=spec.seed, **kwargs)
 
+    def _backend_scope(self, spec: ExperimentSpec):
+        """Context manager pinning the spec's backend (a no-op for the
+        default ``backend=None``, which follows ``REPRO_BACKEND``).
+        Wraps model construction, training, checkpoint loading, and
+        evaluation alike, so a pinned spec's whole pipeline runs on one
+        backend."""
+        if spec.backend is None:
+            return contextlib.nullcontext()
+        return backend_mode(spec.backend)
+
     def trained(self, spec: ExperimentSpec, model_name: str):
         """(model, TrainResult) for one roster entry — from the
         in-process memo, the artifact store, or a (resumable) training
@@ -171,27 +183,29 @@ class Runner:
         dataset = self.dataset(spec)
         committed = None if self.refresh else self.store.get("train", key)
         if committed is not None:
-            model = self._create_model(spec, model_name, dataset)
-            load_checkpoint(model, committed / "model.npz")
+            with self._backend_scope(spec):
+                model = self._create_model(spec, model_name, dataset)
+                load_checkpoint(model, committed / "model.npz")
             model.eval()
             meta = self.store.get_meta("train", key)
             result = TrainResult(**meta["result"])
         else:
             self.stats["train_runs"] += 1
-            model = self._create_model(spec, model_name, dataset)
             snapshot = self.store.partial_dir("train", key) \
                 / "snapshot.npz"
-            if spec.tape is None:
-                result = train_model(model, dataset, spec.train,
-                                     snapshot_path=snapshot)
-            else:
-                # Pinned tape mode (A/B parity specs): bit-identical by
-                # contract, so only explicitly pinned specs fold it into
-                # their train_key.
-                from ..engine.plan import tape_mode
-                with tape_mode(spec.tape):
+            with self._backend_scope(spec):
+                model = self._create_model(spec, model_name, dataset)
+                if spec.tape is None:
                     result = train_model(model, dataset, spec.train,
                                          snapshot_path=snapshot)
+                else:
+                    # Pinned tape mode (A/B parity specs): bit-identical
+                    # by contract, so only explicitly pinned specs fold
+                    # it into their train_key.
+                    from ..engine.plan import tape_mode
+                    with tape_mode(spec.tape):
+                        result = train_model(model, dataset, spec.train,
+                                             snapshot_path=snapshot)
             staged = self.store.stage_dir("train", key)
             save_checkpoint(model, staged / "model.npz", metadata={
                 "model": model_name, "dataset": spec.dataset,
@@ -218,7 +232,8 @@ class Runner:
         model structures), leaving the shared cached model untouched."""
         model, _ = self.trained(spec, model_name)
         dataset = self.dataset(spec)
-        fresh = self._create_model(spec, model_name, dataset)
+        with self._backend_scope(spec):
+            fresh = self._create_model(spec, model_name, dataset)
         fresh.load_state_dict(model.state_dict())
         fresh.eval()
         fresh.invalidate()
@@ -244,15 +259,17 @@ class Runner:
             model, _ = self.trained(spec, model_name)
         undo = apply_inference_steps(model, spec.steps("inference"))
         try:
-            if eval_steps:
-                results: dict[str, MetricResult] = {}
-                for step in eval_steps:
-                    results.update(get_scenario(step.name).fn(
-                        model, dataset, spec.eval_k, **step.params))
-            else:
-                scenario = evaluate_model(model, dataset.split,
-                                          k=spec.eval_k)
-                results = {"cold": scenario.cold, "warm": scenario.warm}
+            with self._backend_scope(spec):
+                if eval_steps:
+                    results: dict[str, MetricResult] = {}
+                    for step in eval_steps:
+                        results.update(get_scenario(step.name).fn(
+                            model, dataset, spec.eval_k, **step.params))
+                else:
+                    scenario = evaluate_model(model, dataset.split,
+                                              k=spec.eval_k)
+                    results = {"cold": scenario.cold,
+                               "warm": scenario.warm}
         finally:
             undo()
         self.store.put_json("eval", key, {

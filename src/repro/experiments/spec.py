@@ -122,6 +122,13 @@ class ExperimentSpec:
     #: when explicitly pinned: A/B parity specs get distinct artifacts,
     #: ordinary specs keep their existing addresses.
     tape: bool | None = None
+    #: pin the array backend for this experiment's training runs
+    #: (``None`` — the default — follows ``REPRO_BACKEND``). Unlike
+    #: ``tape``, the ``"fast"`` tier is *not* bit-identical (float32
+    #: params, accelerated kernels), so a pinned backend always enters
+    #: the content address; the env var stays address-neutral like
+    #: every other runtime toggle.
+    backend: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -132,6 +139,12 @@ class ExperimentSpec:
         if self.size not in SIZES:
             raise ValueError(f"unknown size {self.size!r}; "
                              f"allowed values: {', '.join(SIZES)}")
+        if self.backend is not None:
+            from ..backend import available_backends
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; allowed values: "
+                    f"{', '.join(available_backends())}")
 
     # -- scenario views -------------------------------------------------
     def steps(self, stage: str) -> tuple[ScenarioStep, ...]:
@@ -164,6 +177,8 @@ class ExperimentSpec:
         }
         if self.tape is not None:
             payload["tape"] = self.tape
+        if self.backend is not None:
+            payload["backend"] = self.backend
         return content_key(payload)
 
     def eval_key(self, model: str) -> str:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import active as _active_backend
 from ..engine import apply_dense, mean_aggregation_operator
 
 
@@ -57,8 +58,8 @@ def expand_item_graph(features: np.ndarray, new_features: np.ndarray,
     if int(top_k) <= 0:
         raise ValueError(f"top_k must be positive, got {top_k}")
     top_k = min(int(top_k), len(warm_items))
-    similarity = _unit_rows(new_features) @ _unit_rows(
-        features[warm_items]).T
+    similarity = _active_backend().matmul(
+        _unit_rows(new_features), _unit_rows(features[warm_items]).T)
     top = np.argpartition(-similarity, top_k - 1, axis=1)[:, :top_k]
     top_sims = np.take_along_axis(similarity, top, axis=1)
     order = np.argsort(-top_sims, axis=1, kind="stable")

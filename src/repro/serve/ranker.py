@@ -26,6 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from ..backend import active as _active_backend
+
 
 def interactions_to_csr(interactions: np.ndarray, num_users: int,
                         num_items: int) -> sp.csr_matrix:
@@ -191,7 +193,8 @@ class BatchRanker:
     def scores(self, user_ids: np.ndarray) -> np.ndarray:
         """Raw (unmasked) scores over all items; rows align with input."""
         users = np.asarray(user_ids, dtype=np.int64)
-        return self.user_vectors[users] @ self.item_vectors.T
+        return _active_backend().matmul(self.user_vectors[users],
+                                        self.item_vectors.T)
 
     def topk(self, user_ids: np.ndarray, k: int = 20,
              candidates: np.ndarray | None = None, mask_seen: bool = True,
@@ -228,9 +231,11 @@ class BatchRanker:
             dtype=np.result_type(self.user_vectors, self.item_vectors))
         if k <= 0:
             return TopKResult(out_items, out_scores)
+        backend = _active_backend()
         for start in range(0, len(users), self.block_size):
             block = users[start:start + self.block_size]
-            neg_scores = self.user_vectors[block] @ neg_items.T
+            neg_scores = backend.matmul(self.user_vectors[block],
+                                        neg_items.T)
             self._mask_block(neg_scores, block, col_of, mask_seen,
                              extra_seen)
             top, neg_top = _neg_topk_rows(neg_scores, k)

@@ -78,7 +78,11 @@ class TestTrainingThroughput:
         cells = row.as_row()
         assert cells["Model"] == "LightGCN"
         assert set(cells) == {"Model", "Epochs", "Engine (epochs/s)",
-                              "Layer-by-layer (epochs/s)", "Fold speedup"}
+                              "Layer-by-layer (epochs/s)", "Fold speedup",
+                              "Backend", "Param dtype", "BLAS threads"}
+        # Runtime context is captured at measurement time.
+        assert cells["Backend"] == "reference"
+        assert cells["Param dtype"] == "float64"
 
     def test_restores_engine_fold_configuration(self, tiny_dataset):
         from repro import engine

@@ -1,0 +1,130 @@
+"""Backend op unit grid (ISSUE 7 satellite).
+
+Every primitive an :class:`repro.backend.base.ArrayBackend` owns is
+checked against the plain-numpy reference expression it abstracts:
+
+* the **reference** backend must match *bit for bit* — it is the
+  bit-exactness contract's foundation, so ``np.array_equal`` with no
+  tolerance;
+* the **fast** backend must match within dtype-appropriate epsilon in
+  both float32 and float64 — whatever kernels it dispatches to (plain
+  BLAS here; torch/cupy where importable) may round differently but
+  never drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.backend import available_backends, get_backend
+
+BACKENDS = tuple(available_backends())
+
+
+def _rtol(backend, dtype) -> float:
+    if backend.name == "reference":
+        return 0.0
+    return 1e-5 if np.dtype(dtype) == np.float32 else 1e-12
+
+
+def _check(backend, got, want, dtype):
+    rtol = _rtol(backend, dtype)
+    if rtol == 0.0:
+        assert np.array_equal(got, want), (
+            f"{backend.name} backend is not bit-identical to numpy")
+    else:
+        np.testing.assert_allclose(got, want, rtol=rtol, atol=rtol)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return get_backend(request.param)
+
+
+@pytest.fixture(params=(np.float32, np.float64))
+def dtype(request):
+    return request.param
+
+
+def _rand(rng, shape, dtype):
+    return rng.standard_normal(shape).astype(dtype)
+
+
+class TestDenseOps:
+    def test_matmul(self, backend, dtype, rng):
+        a, b = _rand(rng, (17, 9), dtype), _rand(rng, (9, 13), dtype)
+        _check(backend, backend.matmul(a, b), a @ b, dtype)
+
+    def test_matmul_large_enough_to_dispatch(self, backend, rng):
+        # Crosses the fast tier's flops threshold so the torch/cupy
+        # paths (when importable) actually engage; plain hosts take the
+        # numpy path and the assertion still holds.
+        a = _rand(rng, (128, 96), np.float32)
+        b = _rand(rng, (96, 128), np.float32)
+        _check(backend, backend.matmul(a, b), a @ b, np.float32)
+
+    def test_matmul_out(self, backend, dtype, rng):
+        a, b = _rand(rng, (11, 7), dtype), _rand(rng, (7, 5), dtype)
+        out = np.empty((11, 5), dtype=dtype)
+        result = backend.matmul_out(a, b, out)
+        assert result is out
+        _check(backend, out, a @ b, dtype)
+
+    def test_elementwise(self, backend, dtype, rng):
+        x = _rand(rng, (6, 8), dtype)
+        _check(backend, backend.exp(x), np.exp(x), dtype)
+        _check(backend, backend.tanh(x), np.tanh(x), dtype)
+        positive = np.abs(x) + dtype(0.5)
+        _check(backend, backend.log(positive), np.log(positive), dtype)
+        _check(backend, backend.sqrt(positive), np.sqrt(positive), dtype)
+
+    def test_sigmoid_matches_clipped_expression(self, backend, dtype, rng):
+        # The historical expression, including the +-60 clip that makes
+        # extreme logits exact 0/1 instead of overflowing.
+        x = _rand(rng, (40,), dtype) * dtype(50.0)
+        want = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        _check(backend, backend.sigmoid(x), want, dtype)
+
+    def test_gather_rows(self, backend, dtype, rng):
+        table = _rand(rng, (20, 6), dtype)
+        indices = rng.integers(0, 20, size=33)
+        _check(backend, backend.gather_rows(table, indices),
+               table[indices], dtype)
+
+
+class TestSparseOps:
+    def test_spmm_and_transpose(self, backend, dtype, rng):
+        matrix = sp.random(14, 10, density=0.3, random_state=7,
+                           format="csr", dtype=np.float64).astype(dtype)
+        x = _rand(rng, (10, 4), dtype)
+        g = _rand(rng, (14, 4), dtype)
+        _check(backend, backend.spmm(matrix, x), matrix @ x, dtype)
+        _check(backend, backend.spmm_t(matrix, g), matrix.T @ g, dtype)
+
+    @pytest.mark.parametrize("num_rows", (5, 500))
+    def test_bincount_rows(self, backend, dtype, rng, num_rows):
+        # num_rows=500 with 25 gathered rows crosses the fast tier's
+        # segment-sum heuristic; num_rows=5 stays on the bincount path.
+        inverse = rng.integers(0, 5, size=25)
+        values = _rand(rng, (25, 3), dtype)
+        flat = (inverse[:, None] * 3 + np.arange(3)[None, :]).ravel()
+        want = np.bincount(flat, weights=values.ravel(),
+                           minlength=num_rows * 3).reshape(num_rows, 3)
+        got = backend.bincount_rows(inverse, values, num_rows, 3)
+        _check(backend, got, want, dtype)
+
+
+class TestDescribe:
+    def test_describe_names_the_tier(self, backend):
+        info = backend.describe()
+        assert info["backend"] == backend.name
+        assert "accelerated" in info
+
+    def test_fast_reports_dispatch_flags(self):
+        info = get_backend("fast").describe()
+        # torch/cupy are absent in the baked image; the flags must say
+        # so honestly rather than erroring.
+        assert info["torch"] in (True, False)
+        assert info["cupy"] in (True, False)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Compare two ``repro run --metrics-out`` JSON files within a tolerance.
+
+Usage (from the repo root)::
+
+    python tools/check_backend_parity.py REFERENCE.json FAST.json \
+        [--atol 0.05]
+
+The CI fast-parity job trains the smoke spec twice — once on the
+reference backend, once with ``--backend fast`` into a separate
+artifact store — and asserts every metric the fast tier produced is
+within ``--atol`` (absolute) of the reference value. The fast tier is
+tolerance-parity by design (float32 params, accelerated kernels), so
+this is the honest cross-backend gate; bit-level checks stay with the
+reference-only golden suite.
+
+Exit status: 0 when every shared metric agrees within tolerance, 1 on
+any out-of-tolerance metric or structural mismatch (different models or
+scenarios), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(reference: dict, fast: dict, atol: float) -> list[str]:
+    """Human-readable failure lines (empty means parity holds)."""
+    failures: list[str] = []
+    if set(reference) != set(fast):
+        return [f"model rosters differ: {sorted(reference)} vs "
+                f"{sorted(fast)}"]
+    for model in sorted(reference):
+        ref_scenarios, fast_scenarios = reference[model], fast[model]
+        if set(ref_scenarios) != set(fast_scenarios):
+            failures.append(
+                f"{model}: scenarios differ: {sorted(ref_scenarios)} "
+                f"vs {sorted(fast_scenarios)}")
+            continue
+        for scenario in sorted(ref_scenarios):
+            ref_metrics = ref_scenarios[scenario]
+            fast_metrics = fast_scenarios[scenario]
+            for name in sorted(set(ref_metrics) | set(fast_metrics)):
+                ref_value = ref_metrics.get(name)
+                fast_value = fast_metrics.get(name)
+                if not isinstance(ref_value, (int, float)) or \
+                        not isinstance(fast_value, (int, float)):
+                    continue
+                delta = abs(float(ref_value) - float(fast_value))
+                if delta > atol:
+                    failures.append(
+                        f"{model}/{scenario}/{name}: reference="
+                        f"{ref_value:.6f} fast={fast_value:.6f} "
+                        f"|delta|={delta:.6f} > atol={atol}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reference", help="metrics JSON from the "
+                                          "reference-backend run")
+    parser.add_argument("fast", help="metrics JSON from the fast-tier run")
+    parser.add_argument("--atol", type=float, default=0.05,
+                        help="absolute per-metric tolerance "
+                             "(default: 0.05)")
+    args = parser.parse_args(argv)
+    try:
+        reference = json.loads(Path(args.reference).read_text())
+        fast = json.loads(Path(args.fast).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read metrics files: {error}", file=sys.stderr)
+        return 2
+    failures = compare(reference, fast, args.atol)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    models = len(reference)
+    print(f"backend parity OK: {models} model(s) within atol={args.atol}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,9 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
 
 def update(models: list[str]) -> int:
+    # Goldens are reference-backend artifacts; refuse to re-record them
+    # under a forced fast tier (REPRO_BACKEND=fast).
+    protocol.require_reference_backend()
     for name in models:
         if name not in protocol.MODELS:
             print(f"unknown golden model {name!r}; roster: "
