@@ -29,6 +29,21 @@ closures — so taping is roughly neutral here (within measurement
 noise); the wins it was hoped to unlock only materialize on deep
 cheap-op graphs. The assertions gate on "no regression", not a gain.
 
+Serving-latency addendum (ISSUE 8): client-observed p50/p99 of the
+micro-batched daemon path under concurrent closed-loop load, against a
+sequential one-query-at-a-time baseline over the same snapshot, across
+shard counts — plus ingest-under-load (hot-swaps racing the query
+stream). Honest numbers from the reference machine (24k-item synthetic
+catalog, 8 clients): micro-batching wins ~1.4-2.1x on throughput at
+every shard count because batches form from the backlog that
+accumulates while the previous batch computes (any positive straggler
+window only adds latency — the default max_delay_ms is 0 for exactly
+that reason), and sharding on this single-core BLAS host is roughly
+neutral — the thread pool has no second core to use, so its value here
+is the bit-parity proof, not speed. Ingest-under-load stays ~1.0x:
+snapshot republish happens off the query path. Gates are no-regression
+floors on the batched/sequential ratio.
+
 Backend addendum: the opt-in ``fast`` array backend (float32 params,
 pooled replay buffers, accelerated scatter kernels; ``REPRO_BACKEND=
 fast``) vs the bit-exact reference tier, interleaved rotated-order
@@ -53,10 +68,12 @@ from repro.analysis.timing import (breakdown_rows,
                                    measure_feature_sets,
                                    measure_forward_throughput,
                                    measure_ranking_throughput,
+                                   measure_serving_latency,
                                    measure_sparse_training_throughput,
                                    measure_step_breakdown,
                                    measure_tape_training_throughput,
-                                   measure_training_throughput)
+                                   measure_training_throughput,
+                                   synthetic_serving_store)
 from repro.train import TrainConfig
 from repro.utils.tables import format_table
 
@@ -154,6 +171,10 @@ def test_table7_timing(benchmark):
         hetero_breakdowns += breakdown_rows(
             measure_step_breakdown(dataset, name, epochs=3))
 
+    serving_rows = measure_serving_latency(
+        synthetic_serving_store(seed=0), clients=8, requests_per_client=40,
+        k=20, shard_counts=(1, 2, 4), repeats=3, seed=0)
+
     write_result(
         "table7_timing.txt",
         format_table(table, "Table VII: training/inference time") + "\n\n"
@@ -213,7 +234,19 @@ def test_table7_timing(benchmark):
                        "Forward addendum: per-phase training-step "
                        "cost of the heterogeneous models "
                        "(beauty/small; extra = discriminator + "
-                       "TransR per-epoch phases, amortized per step)"))
+                       "TransR per-epoch phases, amortized per step)")
+        + "\n\n"
+        + format_table([row.as_row() for row in serving_rows],
+                       "Serving-latency addendum: micro-batched daemon "
+                       "path vs sequential single-query baseline, "
+                       "client-observed p50/p99 (synthetic 2000x24000 "
+                       "store, 8 closed-loop clients, interleaved "
+                       "rotated-order rounds, best of 3; max_delay_ms=0 "
+                       "— batches form from compute-time backlog, a "
+                       "positive straggler window only adds latency; "
+                       "sharding is parity-not-speed on this "
+                       "single-core BLAS host; ingest row: 5 hot-swap "
+                       "republishes racing the stream)"))
 
     # Engine and layer-by-layer schedules both train; their throughput
     # must be real (positive) and the engine path must not collapse.
@@ -285,6 +318,23 @@ def test_table7_timing(benchmark):
     assert cold.speedup >= 5.0
     assert cold.loop_speedup >= 3.0
     assert warm.speedup >= 1.5
+
+    # Micro-batched serving under concurrent load must at least match
+    # the sequential baseline at every shard count (the reference
+    # machine measures ~1.4-2.1x; 1.0 is the noise-tolerant floor),
+    # with real latency percentiles and actual coalescing. The ingest
+    # scenario must keep serving while snapshots republish (republish
+    # is off the query path, so ~1.0x; 0.8 bounds the interference).
+    topk_rows = [r for r in serving_rows if r.scenario == "topk under load"]
+    assert [r.num_shards for r in topk_rows] == [1, 2, 4]
+    for row in topk_rows:
+        assert 0 < row.p50_ms <= row.p99_ms
+        assert row.mean_batch_size > 1.0
+        assert row.speedup >= 1.0
+    (ingest_row,) = [r for r in serving_rows
+                     if r.scenario == "ingest under load"]
+    assert ingest_row.ingests > 0
+    assert ingest_row.speedup >= 0.8
 
     by_label = {row.label: row for row in rows}
     # KA adds the largest training-time increment.

@@ -15,11 +15,15 @@ Commands
     List the registered models and their families.
 ``export-embeddings``
     Snapshot a trained model (fresh or from a checkpoint) into a serving
-    ``EmbeddingStore`` archive.
+    ``EmbeddingStore`` — a compressed ``.npz`` archive (``--format v1``,
+    the default) or the mmap-able raw-array directory (``--format v2``).
 ``serve``
     Answer batched top-k queries from a store/checkpoint/fresh model —
     interactive REPL or file-driven — including online ``ingest`` of
-    brand-new cold items.
+    brand-new cold items and hot ``swap`` to a newer store.
+    ``--daemon`` starts the stdlib-HTTP JSON service instead
+    (micro-batched admission queue, optional item-axis sharding via
+    ``--num-shards``, atomic snapshot hot-swap via ``POST /swap``).
 ``run``
     Execute a declarative experiment spec — a named preset or a JSON
     spec file — through the resumable, content-addressed experiment
@@ -63,7 +67,12 @@ Commands
     reference ratio and ``--min-throughput`` doubling as a
     no-regression floor for the reference column; ``--num-layers``
     deepens the propagation stack (the recorded table uses the 3-layer
-    LightGCN fixture). ``--breakdown`` adds the per-phase
+    LightGCN fixture). ``--serving-latency`` benchmarks the serving
+    service instead: p50/p99 client-observed latency and throughput of
+    the micro-batched admission queue vs sequential single-user queries
+    on a catalog-scale synthetic store, per shard count, with an
+    optional ``--min-serving-speedup`` floor (the CI no-regression
+    gate). ``--breakdown`` adds the per-phase
     (sample/forward/backward/clip/step/extra) training-step cost table
     for any model, heterogeneous ones included — taped, sparse-untaped,
     and dense columns.
@@ -221,9 +230,9 @@ def cmd_export_embeddings(args) -> int:
     model, dataset, seed = _trained_model(args)
     store = EmbeddingStore.from_model(model, dataset,
                                       metadata={"seed": seed})
-    written = store.save(args.out)
+    written = store.save(args.out, format=args.format)
     print(format_table([store.describe()], title="Exported store"))
-    print(f"store written to {written}")
+    print(f"store written to {written} (format {args.format})")
     return 0
 
 
@@ -236,13 +245,35 @@ def _repl_lines():
 
 
 def cmd_serve(args) -> int:
+    if args.mmap and not args.store:
+        print("--mmap only applies with --store (a format-v2 directory)",
+              file=sys.stderr)
+        return 2
     if args.store:
-        store = EmbeddingStore.load(args.store)
+        store = EmbeddingStore.load(args.store, mmap=args.mmap)
     else:
         model, dataset, _ = _trained_model(args)
         store = EmbeddingStore.from_model(model, dataset)
+    if args.daemon:
+        from .serve import ServingDaemon, SnapshotManager
+        manager = SnapshotManager(store, num_shards=args.num_shards,
+                                  block_size=args.block_size)
+        daemon = ServingDaemon(manager, host=args.host, port=args.port,
+                               max_batch=args.max_batch,
+                               max_delay_ms=args.max_delay_ms)
+        print(f"serving on {daemon.url} "
+              "(GET /topk /cold /stats /healthz; POST /ingest /swap)",
+              file=sys.stderr)
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            daemon.shutdown()
+        return 0
     session = ServingSession(store, default_k=args.k,
-                             block_size=args.block_size)
+                             block_size=args.block_size,
+                             num_shards=args.num_shards)
     if args.queries:
         with open(args.queries) as handle:
             lines = handle.readlines()
@@ -304,6 +335,52 @@ def cmd_bench(args) -> int:
         print("--num-layers only applies with --backend-compare",
               file=sys.stderr)
         return 2
+    if not args.serving_latency:
+        for flag, name in ((args.min_serving_speedup,
+                            "--min-serving-speedup"),
+                           (args.clients, "--clients"),
+                           (args.shard_counts, "--shard-counts"),
+                           (args.serving_scale, "--serving-scale")):
+            if flag is not None:
+                print(f"{name} only applies with --serving-latency",
+                      file=sys.stderr)
+                return 2
+    if args.serving_latency:
+        if args.sparse_compare or args.forward_compare \
+                or args.tape_compare or args.backend_compare:
+            print("--serving-latency is a separate benchmark; pick one",
+                  file=sys.stderr)
+            return 2
+        from .analysis.timing import (measure_serving_latency,
+                                      synthetic_serving_store)
+        scale = args.serving_scale if args.serving_scale is not None \
+            else 1.0
+        store = synthetic_serving_store(
+            num_users=max(int(2000 * scale), 64),
+            num_items=max(int(24000 * scale), 256),
+            seed=args.seed)
+        rows = measure_serving_latency(
+            store,
+            clients=args.clients if args.clients is not None else 8,
+            shard_counts=tuple(args.shard_counts or (1, 2, 4)),
+            seed=args.seed)
+        print(format_table(
+            [row.as_row() for row in rows],
+            title=f"Serving latency under load "
+                  f"({store.num_items}-item synthetic catalog, "
+                  "micro-batched vs sequential)"))
+        worst = min((row for row in rows
+                     if row.scenario == "topk under load"),
+                    key=lambda row: row.speedup)
+        if args.min_serving_speedup is not None \
+                and worst.speedup < args.min_serving_speedup:
+            print(f"FAIL: micro-batched serving at {worst.num_shards} "
+                  f"shard(s) is only {worst.speedup:.2f}x the "
+                  "sequential single-query baseline, below the "
+                  f"--min-serving-speedup floor of "
+                  f"{args.min_serving_speedup}", file=sys.stderr)
+            return 1
+        return 0
     if args.backend_compare:
         if args.sparse_compare or args.forward_compare or args.tape_compare:
             print("--backend-compare is a separate benchmark; pick one",
@@ -615,9 +692,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_export = sub.add_parser(
         "export-embeddings",
         help="snapshot a trained model into a serving store")
-    p_export.add_argument("out", help="output .npz path")
+    p_export.add_argument("out", help="output path (.npz for v1, a "
+                                      "directory for v2)")
     p_export.add_argument("--checkpoint", default=None)
     p_export.add_argument("--model", default="Firzen")
+    p_export.add_argument("--format", default="v1", choices=("v1", "v2"),
+                          help="v1: compressed single-file .npz; "
+                               "v2: mmap-able raw-array directory")
     _add_common(p_export)
     p_export.set_defaults(func=cmd_export_embeddings)
 
@@ -633,6 +714,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="file with one query per line "
                               "(default: interactive REPL)")
     p_serve.add_argument("--block-size", type=int, default=1024)
+    p_serve.add_argument("--mmap", action="store_true",
+                         help="memory-map a format-v2 --store directory "
+                              "(zero-copy load)")
+    p_serve.add_argument("--num-shards", type=int, default=1,
+                         help="item-axis shards for scoring; results "
+                              "are bit-identical at any count")
+    p_serve.add_argument("--daemon", action="store_true",
+                         help="serve HTTP JSON endpoints with "
+                              "micro-batching instead of the REPL")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8099,
+                         help="daemon port (0 binds an ephemeral port)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="daemon: max requests coalesced into one "
+                              "blocked topk call")
+    p_serve.add_argument("--max-delay-ms", type=float, default=0.0,
+                         help="daemon: how long to hold a batch open "
+                              "for stragglers (0: drain backlog only)")
     _add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -730,6 +829,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --backend-compare: propagation depth "
                               "passed to the models (the recorded table "
                               "uses 3-layer LightGCN)")
+    p_bench.add_argument("--serving-latency", action="store_true",
+                         help="benchmark the serving service: p50/p99 "
+                              "latency and throughput of the "
+                              "micro-batched queue vs sequential "
+                              "single-user queries, per shard count, "
+                              "on a catalog-scale synthetic store")
+    p_bench.add_argument("--min-serving-speedup", type=float,
+                         default=None,
+                         help="with --serving-latency: exit nonzero "
+                              "when micro-batched throughput falls "
+                              "below this multiple of the sequential "
+                              "baseline at any shard count")
+    p_bench.add_argument("--clients", type=int, default=None,
+                         help="with --serving-latency: concurrent "
+                              "client threads (default 8)")
+    p_bench.add_argument("--shard-counts", type=int, nargs="+",
+                         default=None,
+                         help="with --serving-latency: shard counts to "
+                              "sweep (default 1 2 4)")
+    p_bench.add_argument("--serving-scale", type=float, default=None,
+                         help="with --serving-latency: size multiplier "
+                              "for the synthetic catalog (CI uses 0.5)")
     p_bench.add_argument("--breakdown", action="store_true",
                          help="also print the per-phase "
                               "(sample/forward/backward/clip/step) "

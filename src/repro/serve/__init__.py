@@ -1,13 +1,20 @@
-"""Batched inference serving: snapshot, rank, and onboard online.
+"""Batched inference serving: snapshot, rank, swap, and onboard online.
 
-Three layers (see ``docs/ARCHITECTURE.md``):
+The layers (see ``docs/ARCHITECTURE.md``):
 
 * :class:`EmbeddingStore` — a trained model's final user/item
   representations (cold-item expansions included) as contiguous
-  ``float32`` arrays with ``.npz`` persistence;
+  ``float32`` arrays; persisted as a compressed ``.npz`` (v1) or an
+  mmap-able raw-array directory (v2, ``load(mmap=True)`` is zero-copy);
 * :class:`BatchRanker` — blocked-matmul top-k for batches of users with
   vectorized seen-item masking; the evaluation protocol reuses its
   ranking kernels, so the table harnesses share this hot path;
+* :class:`ShardedRanker` — the same ranking, with the scoring GEMMs
+  fanned out over item shards on a thread pool; bit-identical results;
+* :class:`SnapshotManager` — atomic hot-swap of published
+  (store, ranker) snapshot versions under live queries;
+* :class:`MicroBatcher` / :class:`ServingDaemon` — request coalescing
+  and the stdlib-HTTP JSON front end behind ``repro serve --daemon``;
 * :func:`ingest_items` — online cold-start onboarding: brand-new items
   with modality features extend the frozen item-item kNN graphs
   incrementally (eq. 34-35 direction: warm -> new only) and become
@@ -17,17 +24,25 @@ Three layers (see ``docs/ARCHITECTURE.md``):
 expose the stack on the command line via :class:`ServingSession`.
 """
 
+from .daemon import MicroBatcher, ServingDaemon
 from .onboarding import GraphExpansion, expand_item_graph, ingest_items
 from .ranker import (BatchRanker, TopKResult, apply_seen_mask,
                      interactions_to_csr, topk_from_scores)
 from .session import ServingSession
+from .sharding import ShardedRanker
+from .snapshot import Snapshot, SnapshotManager
 from .store import EmbeddingStore
 
 __all__ = [
     "BatchRanker",
     "EmbeddingStore",
     "GraphExpansion",
+    "MicroBatcher",
+    "ServingDaemon",
     "ServingSession",
+    "ShardedRanker",
+    "Snapshot",
+    "SnapshotManager",
     "TopKResult",
     "apply_seen_mask",
     "expand_item_graph",

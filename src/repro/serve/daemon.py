@@ -1,0 +1,347 @@
+"""Async micro-batching HTTP front end for the serving engine.
+
+Two pieces, stdlib only:
+
+* :class:`MicroBatcher` — an admission queue plus one worker thread.
+  Concurrent single-user requests are coalesced into blocked
+  :meth:`~repro.serve.ranker.BatchRanker.topk` calls: the worker blocks
+  on the first request, then drains whatever else arrived within a
+  ``max_delay_ms`` window (up to ``max_batch``), groups compatible
+  requests (same ``k`` and mode), and answers each group with one
+  batched matmul instead of per-request GEMV calls.  Batching changes
+  *when* rows are computed, never *what*: each user's row of a blocked
+  ``topk`` is bit-identical to their single-user call on the same
+  snapshot.
+* :class:`ServingDaemon` — a ``ThreadingHTTPServer`` exposing JSON
+  endpoints (``/topk``, ``/cold``, ``/ingest``, ``/swap``, ``/stats``,
+  ``/healthz``) on top of a :class:`repro.serve.snapshot.SnapshotManager`.
+  Every ranked response carries the snapshot version it was computed on,
+  so clients can observe hot-swaps but never a torn mix of versions.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from .snapshot import SnapshotManager
+
+
+@dataclass
+class _Request:
+    """One admitted single-user ranking request."""
+
+    user: int
+    k: int
+    mode: str                     # "all" or "cold"
+    future: Future = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Coalesces concurrent single-user topk requests into blocked calls.
+
+    Parameters
+    ----------
+    manager:
+        The snapshot manager queries are answered from.  Each drained
+        batch is served off one ``manager.current`` read, so every
+        request in a batch sees the same snapshot version.
+    max_batch:
+        Upper bound on requests coalesced into one blocked call.
+    max_delay_ms:
+        How long the worker waits for stragglers after the first
+        request of a batch arrives.  The default is 0: under closed-loop
+        load batches form from the backlog that accumulates while the
+        previous batch computes, so any positive window only adds
+        latency; a positive bound helps only when arrivals are sporadic
+        and a caller wants bigger batches at a latency price.
+    """
+
+    def __init__(self, manager: SnapshotManager, *, max_batch: int = 64,
+                 max_delay_ms: float = 0.0):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        self.manager = manager
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self._queue: queue.Queue = queue.Queue()
+        self._stats_lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_observed_batch = 0
+        self._worker = threading.Thread(target=self._run,
+                                        name="repro-microbatch",
+                                        daemon=True)
+        self._stop = threading.Event()
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, user: int, k: int, mode: str = "all") -> Future:
+        """Enqueue one request; the future resolves to a response dict."""
+        if mode not in ("all", "cold"):
+            raise ValueError(f"unknown mode {mode!r}")
+        request = _Request(user=int(user), k=int(k), mode=mode)
+        self._queue.put(request)
+        return request.future
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._queue.put(None)       # wake the worker
+        self._worker.join(timeout=5)
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch_observed": self.max_observed_batch,
+                "mean_batch_size": (self.batched_requests / self.batches
+                                    if self.batches else 0.0),
+            }
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> list:
+        """Block for the first request, then collect stragglers until
+        the delay window closes or the batch is full."""
+        first = self._queue.get()
+        if first is None:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.max_delay_ms / 1000.0
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    # Window closed: still absorb any backlog that is
+                    # already queued, without waiting further.
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            batch = self._drain()
+            if not batch:
+                continue
+            try:
+                self._serve_batch(batch)
+            except BaseException as exc:  # propagate to the waiters
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _serve_batch(self, batch: list) -> None:
+        snapshot = self.manager.current
+        groups: dict = {}
+        for request in batch:
+            groups.setdefault((request.k, request.mode),
+                              []).append(request)
+        with self._stats_lock:
+            self.requests += len(batch)
+            self.batches += len(groups)
+            self.batched_requests += len(batch)
+            self.max_observed_batch = max(self.max_observed_batch,
+                                          len(batch))
+        for (k, mode), requests in groups.items():
+            users = np.array([r.user for r in requests], dtype=np.int64)
+            candidates = (snapshot.store.cold_items() if mode == "cold"
+                          else None)
+            try:
+                result = snapshot.ranker.topk(users, k,
+                                              candidates=candidates)
+            except BaseException as exc:
+                for request in requests:
+                    request.future.set_exception(exc)
+                continue
+            for row, request in enumerate(requests):
+                request.future.set_result({
+                    "user": request.user,
+                    "k": k,
+                    "mode": mode,
+                    "snapshot_version": snapshot.version,
+                    "items": result.items[row].tolist(),
+                    "scores": result.scores[row].tolist(),
+                })
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON endpoint dispatch; the daemon instance rides on the server."""
+
+    protocol_version = "HTTP/1.1"
+
+    # quiet: pytest/CI logs should not fill with per-request lines
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    @property
+    def daemon(self) -> "ServingDaemon":
+        return self.server.serving_daemon  # type: ignore[attr-defined]
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int = 400) -> None:
+        self._reply({"error": message}, status=status)
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        try:
+            if parsed.path in ("/topk", "/cold"):
+                self._handle_topk(query, cold=parsed.path == "/cold")
+            elif parsed.path == "/stats":
+                self._reply(self.daemon.stats())
+            elif parsed.path == "/healthz":
+                self._reply({"status": "ok",
+                             "snapshot_version":
+                                 self.daemon.manager.version})
+            else:
+                self._error(f"unknown endpoint {parsed.path}", status=404)
+        except Exception as exc:
+            self._error(str(exc), status=500)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError:
+            return self._error("request body is not valid JSON")
+        try:
+            if parsed.path == "/ingest":
+                self._handle_ingest(payload)
+            elif parsed.path == "/swap":
+                self._handle_swap(payload)
+            else:
+                self._error(f"unknown endpoint {parsed.path}", status=404)
+        except Exception as exc:
+            self._error(str(exc), status=500)
+
+    # ------------------------------------------------------------------
+    def _handle_topk(self, query: dict, cold: bool) -> None:
+        if "user" not in query:
+            return self._error("missing required parameter 'user'")
+        try:
+            user = int(query["user"][0])
+            k = int(query.get("k", ["20"])[0])
+        except ValueError:
+            return self._error("'user' and 'k' must be integers")
+        snapshot = self.daemon.manager.current
+        if not 0 <= user < snapshot.store.num_users:
+            return self._error(f"user {user} out of range "
+                               f"[0, {snapshot.store.num_users})")
+        future = self.daemon.batcher.submit(user, k,
+                                            mode="cold" if cold else "all")
+        self._reply(future.result(timeout=30))
+
+    def _handle_ingest(self, payload: dict) -> None:
+        features = payload.get("features")
+        if not isinstance(features, dict) or not features:
+            return self._error(
+                "body must be {'features': {modality: [[...], ...]}}")
+        arrays = {modality: np.asarray(values, dtype=np.float32)
+                  for modality, values in features.items()}
+        snapshot = self.daemon.manager.current
+        new_ids = snapshot.store.ingest_items(arrays)
+        # The store grew in place: republish so new queries rank the
+        # onboarded items (in-flight queries keep their old ranker, whose
+        # arrays predate the ingest).
+        refreshed = self.daemon.manager.swap(snapshot.store,
+                                             source="<ingest>")
+        self._reply({"ingested_items": np.asarray(new_ids).tolist(),
+                     "num_items": refreshed.store.num_items,
+                     "snapshot_version": refreshed.version})
+
+    def _handle_swap(self, payload: dict) -> None:
+        path = payload.get("path")
+        if not path:
+            return self._error("body must be {'path': ..., 'mmap': bool}")
+        snapshot = self.daemon.manager.swap_from_path(
+            path, mmap=bool(payload.get("mmap", False)))
+        self._reply({"snapshot_version": snapshot.version,
+                     "source": snapshot.source,
+                     "num_items": snapshot.store.num_items})
+
+
+class ServingDaemon:
+    """Threaded HTTP server wrapping a snapshot manager + micro-batcher.
+
+    ``port=0`` binds an ephemeral port (the bound port is on
+    :attr:`port` after :meth:`start`), which is what the tests and the
+    CI smoke use.
+    """
+
+    def __init__(self, manager: SnapshotManager,
+                 batcher: MicroBatcher | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_batch: int = 64, max_delay_ms: float = 0.0):
+        self.manager = manager
+        self.batcher = batcher or MicroBatcher(
+            manager, max_batch=max_batch, max_delay_ms=max_delay_ms)
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.serving_daemon = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stats(self) -> dict:
+        return {"snapshot_version": self.manager.version,
+                "store": self.manager.current.store.describe(),
+                "batcher": self.batcher.stats()}
+
+    def start(self) -> "ServingDaemon":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-daemon", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant used by ``repro serve --daemon``."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.batcher.stop()
+
+    def __enter__(self) -> "ServingDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -28,6 +28,19 @@ import scipy.sparse as sp
 
 from ..backend import active as _active_backend
 
+#: Fixed column-tile width for blocked scoring.  The tile grid depends
+#: only on the item count — never on shard count, thread count, or
+#: scheduling — so every ranker issues the exact same GEMM calls on the
+#: exact same operands and scores stay bitwise reproducible however the
+#: tiles are executed (serially here, on a thread pool in
+#: :class:`repro.serve.sharding.ShardedRanker`).  BLAS results are *not*
+#: invariant to operand shape, so re-partitioning the catalog per shard
+#: would change low-order bits; a fixed grid is what makes shard counts
+#: interchangeable.
+SCORE_TILE = 4096
+
+_EMPTY_COORDS = np.empty(0, dtype=np.int64)
+
 
 def interactions_to_csr(interactions: np.ndarray, num_users: int,
                         num_items: int) -> sp.csr_matrix:
@@ -59,6 +72,42 @@ def _csr_row_coords(seen: sp.csr_matrix,
     return rows, cols
 
 
+def _extra_seen_coords(users: np.ndarray, extra_seen: dict,
+                       col_of: np.ndarray | None = None
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened (row, col) scatter coordinates for per-user extra masks.
+
+    Builds one coordinate set for the whole batch instead of masking row
+    by row in Python.  A user appearing twice in the batch gets the mask
+    in every one of their rows (their item array is built once and
+    reused); ``col_of`` optionally maps item ids to candidate columns,
+    dropping items outside the candidate set.
+    """
+    per_user: dict = {}
+    row_chunks = []
+    col_chunks = []
+    for row, user in enumerate(users):
+        user = int(user)
+        cols = per_user.get(user)
+        if cols is None:
+            items = extra_seen.get(user)
+            cols = (np.fromiter(items, dtype=np.int64)
+                    if items is not None and len(items) else _EMPTY_COORDS)
+            per_user[user] = cols
+        if len(cols):
+            row_chunks.append(np.full(len(cols), row, dtype=np.int64))
+            col_chunks.append(cols)
+    if not col_chunks:
+        return _EMPTY_COORDS, _EMPTY_COORDS
+    rows = np.concatenate(row_chunks)
+    cols = np.concatenate(col_chunks)
+    if col_of is not None:
+        cols = col_of[cols]
+        keep = cols >= 0
+        rows, cols = rows[keep], cols[keep]
+    return rows, cols
+
+
 def apply_seen_mask(scores: np.ndarray, users: np.ndarray,
                     seen: sp.spmatrix | None = None,
                     extra_seen: dict | None = None) -> np.ndarray:
@@ -81,12 +130,8 @@ def apply_seen_mask(scores: np.ndarray, users: np.ndarray,
                                      np.asarray(users, dtype=np.int64))
         scores[rows, cols] = -np.inf
     if extra_seen:
-        # Iterate rows, not the dict: a user appearing twice in the
-        # batch must be masked in every one of their rows.
-        for row, user in enumerate(users):
-            items = extra_seen.get(int(user))
-            if items is not None and len(items):
-                scores[row, np.fromiter(items, dtype=np.int64)] = -np.inf
+        rows, cols = _extra_seen_coords(np.asarray(users), extra_seen)
+        scores[rows, cols] = -np.inf
     return scores
 
 
@@ -145,7 +190,8 @@ class BatchRanker:
     """
 
     def __init__(self, user_vectors: np.ndarray, item_vectors: np.ndarray,
-                 seen: sp.spmatrix | None = None, block_size: int = 256):
+                 seen: sp.spmatrix | None = None, block_size: int = 256,
+                 score_tile: int = SCORE_TILE):
         user_vectors = np.asarray(user_vectors)
         item_vectors = np.asarray(item_vectors)
         if user_vectors.ndim != 2 or item_vectors.ndim != 2:
@@ -156,31 +202,30 @@ class BatchRanker:
                 f"items are {item_vectors.shape[1]}-d")
         if block_size <= 0:
             raise ValueError("block_size must be positive")
+        if score_tile <= 0:
+            raise ValueError("score_tile must be positive")
         self.user_vectors = user_vectors
         self.item_vectors = item_vectors
         self.seen = seen.tocsr() if seen is not None else None
         self.block_size = int(block_size)
-        # Scoring against the negated item matrix yields already-negated
-        # scores (IEEE negation distributes exactly over the reduction),
-        # so the top-k kernel needs no negated temporaries.
-        self._neg_item_vectors = -self.item_vectors
+        self.score_tile = int(score_tile)
 
     @classmethod
     def from_model(cls, model, train_interactions: np.ndarray | None = None,
-                   block_size: int = 256) -> "BatchRanker":
+                   **kwargs) -> "BatchRanker":
         """Wrap a trained :class:`repro.baselines.base.Recommender`."""
         seen = None
         if train_interactions is not None:
             seen = interactions_to_csr(train_interactions, model.num_users,
                                        model.num_items)
         return cls(model.user_matrix(), model.item_matrix(), seen=seen,
-                   block_size=block_size)
+                   **kwargs)
 
     @classmethod
-    def from_store(cls, store, block_size: int = 256) -> "BatchRanker":
+    def from_store(cls, store, **kwargs) -> "BatchRanker":
         """Wrap an :class:`repro.serve.store.EmbeddingStore` snapshot."""
         return cls(store.user_vectors, store.item_vectors, seen=store.seen,
-                   block_size=block_size)
+                   **kwargs)
 
     @property
     def num_users(self) -> int:
@@ -207,22 +252,22 @@ class BatchRanker:
         items on top.
 
         Per-row results match :func:`repro.eval.protocol.rank_candidates`
-        on the same score matrix: scoring runs against the (sliced)
-        negated item matrix, which negates every dot product exactly, and
-        the partition/stable-sort kernel then sees bitwise-identical
-        inputs to the seed's ``argpartition(-scores)`` path.
+        on the same score matrix: scores are negated in place right after
+        each tile's matmul (IEEE negation is exact), and the
+        partition/stable-sort kernel then sees bitwise-identical inputs
+        to the seed's ``argpartition(-scores)`` path.
         """
         users = np.asarray(user_ids, dtype=np.int64)
         col_of = None
         if candidates is not None:
             candidates = np.asarray(candidates, dtype=np.int64)
-            neg_items = self._neg_item_vectors[candidates]
+            items = self.item_vectors[candidates]
             if (mask_seen and self.seen is not None) or extra_seen:
                 col_of = np.full(self.num_items, -1, dtype=np.int64)
                 col_of[candidates] = np.arange(len(candidates))
             num_candidates = len(candidates)
         else:
-            neg_items = self._neg_item_vectors
+            items = self.item_vectors
             num_candidates = self.num_items
         k = min(int(k), num_candidates)
         out_items = np.empty((len(users), max(k, 0)), dtype=np.int64)
@@ -231,11 +276,10 @@ class BatchRanker:
             dtype=np.result_type(self.user_vectors, self.item_vectors))
         if k <= 0:
             return TopKResult(out_items, out_scores)
-        backend = _active_backend()
         for start in range(0, len(users), self.block_size):
             block = users[start:start + self.block_size]
-            neg_scores = backend.matmul(self.user_vectors[block],
-                                        neg_items.T)
+            neg_scores = self._score_neg_block(self.user_vectors[block],
+                                               items)
             self._mask_block(neg_scores, block, col_of, mask_seen,
                              extra_seen)
             top, neg_top = _neg_topk_rows(neg_scores, k)
@@ -244,6 +288,33 @@ class BatchRanker:
                                      else candidates[top])
             out_scores[start:stop] = -neg_top
         return TopKResult(out_items, out_scores)
+
+    def _score_neg_block(self, user_block: np.ndarray,
+                         items: np.ndarray) -> np.ndarray:
+        """Negated scores of a user block against an item matrix.
+
+        Scoring is decomposed into fixed ``score_tile``-wide column
+        tiles (see :data:`SCORE_TILE`); each tile is one GEMM whose
+        output is negated in place, so no negated copy of the item
+        matrix is ever materialized and peak extra memory is one
+        ``block x tile`` buffer beyond the output.  Subclasses may
+        re-schedule the tiles (e.g. across a thread pool) but must issue
+        the same per-tile calls to keep scores bit-identical.
+        """
+        backend = _active_backend()
+        n = items.shape[0]
+        if n <= self.score_tile:
+            neg = backend.matmul(user_block, items.T)
+            np.negative(neg, out=neg)
+            return neg
+        out = np.empty((user_block.shape[0], n),
+                       dtype=np.result_type(user_block, items))
+        for lo in range(0, n, self.score_tile):
+            hi = min(lo + self.score_tile, n)
+            tile = backend.matmul(user_block, items[lo:hi].T)
+            np.negative(tile, out=tile)
+            out[:, lo:hi] = tile
+        return out
 
     def _mask_block(self, neg_scores: np.ndarray, block: np.ndarray,
                     col_of: np.ndarray | None, mask_seen: bool,
@@ -258,14 +329,5 @@ class BatchRanker:
                 rows, cols = rows[keep], cols[keep]
             neg_scores[rows, cols] = np.inf
         if extra_seen:
-            # Iterate rows, not the dict: duplicate user ids in a batch
-            # must all be masked.
-            for row, user in enumerate(block):
-                items = extra_seen.get(int(user))
-                if items is None or not len(items):
-                    continue
-                cols = np.fromiter(items, dtype=np.int64)
-                if col_of is not None:
-                    cols = col_of[cols]
-                    cols = cols[cols >= 0]
-                neg_scores[row, cols] = np.inf
+            rows, cols = _extra_seen_coords(block, extra_seen, col_of)
+            neg_scores[rows, cols] = np.inf

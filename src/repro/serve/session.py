@@ -1,9 +1,12 @@
 """Query-session logic behind ``python -m repro serve``.
 
-A :class:`ServingSession` owns an :class:`~repro.serve.store.EmbeddingStore`
-and a lazily-built :class:`~repro.serve.ranker.BatchRanker`, and executes
-one textual query at a time — the same engine backs the interactive REPL
-and the file-driven batch mode, which keeps it testable without a TTY.
+A :class:`ServingSession` owns a
+:class:`~repro.serve.snapshot.SnapshotManager` (seeded with one
+:class:`~repro.serve.store.EmbeddingStore`) and executes one textual
+query at a time — the same engine backs the interactive REPL and the
+file-driven batch mode, which keeps it testable without a TTY.  The
+daemon mode (``repro serve --daemon``) shares the snapshot manager but
+speaks HTTP via :class:`repro.serve.daemon.ServingDaemon` instead.
 
 Query language (one query per line)::
 
@@ -11,6 +14,7 @@ Query language (one query per line)::
     batch <u1,u2,...> [k]    one result line per user
     cold <user> [k]          restrict candidates to cold/ingested items
     ingest <features.npz>    onboard new items (one array per modality)
+    swap <store> [mmap]      hot-swap to a saved store (v1 or v2)
     stats                    store summary
     help                     this text
     quit                     end the session
@@ -24,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from .ranker import BatchRanker
+from .snapshot import SnapshotManager
 from .store import EmbeddingStore
 
 HELP_TEXT = """commands:
@@ -32,30 +37,29 @@ HELP_TEXT = """commands:
   cold <user> [k]          top-k among cold/ingested items only
   ingest <features.npz>    onboard new items; archive holds one array
                            per modality, shaped (num_new, feature_dim)
+  swap <store> [mmap]      hot-swap to a saved store snapshot
   stats                    store summary
   help                     show this text
   quit                     end the session"""
 
 
 class ServingSession:
-    """Stateful batch-query session over one embedding store."""
+    """Stateful batch-query session over published store snapshots."""
 
     def __init__(self, store: EmbeddingStore, default_k: int = 20,
-                 block_size: int = 1024):
-        self.store = store
+                 block_size: int = 1024, num_shards: int = 1):
+        self.manager = SnapshotManager(store, num_shards=num_shards,
+                                       block_size=block_size)
         self.default_k = int(default_k)
         self.block_size = int(block_size)
-        self._ranker: BatchRanker | None = None
+
+    @property
+    def store(self) -> EmbeddingStore:
+        return self.manager.current.store
 
     @property
     def ranker(self) -> BatchRanker:
-        if self._ranker is None:
-            self._ranker = BatchRanker.from_store(
-                self.store, block_size=self.block_size)
-        return self._ranker
-
-    def _invalidate(self) -> None:
-        self._ranker = None
+        return self.manager.current.ranker
 
     # ------------------------------------------------------------------
     def execute(self, line: str) -> str | None:
@@ -76,13 +80,15 @@ class ServingSession:
                 return HELP_TEXT
             if command == "stats":
                 return "\n".join(f"{key}: {value}" for key, value
-                                 in self.store.describe().items())
+                                 in self.manager.describe().items())
             if command in ("topk", "batch"):
                 return self._topk(args, candidates=None)
             if command == "cold":
                 return self._topk(args, candidates=self.store.cold_items())
             if command == "ingest":
                 return self._ingest(args)
+            if command == "swap":
+                return self._swap(args)
             return f"error: unknown command {command!r} (try 'help')"
         except (ValueError, IndexError, OSError,
                 zipfile.BadZipFile) as exc:
@@ -125,7 +131,21 @@ class ServingSession:
         path = Path(args[0])
         with np.load(path, allow_pickle=False) as archive:
             features = {name: archive[name] for name in archive.files}
-        new_ids = self.store.ingest_items(features)
-        self._invalidate()
+        store = self.store
+        new_ids = store.ingest_items(features)
+        # Republish: the store grew in place, so the next snapshot's
+        # ranker must pick up the widened item matrix.
+        self.manager.swap(store, source="<ingest>")
         return (f"ingested {len(new_ids)} item(s): "
                 f"{new_ids.tolist()} (cold; rankable immediately)")
+
+    def _swap(self, args: list) -> str:
+        if not args or len(args) > 2 or \
+                (len(args) == 2 and args[1] != "mmap"):
+            raise ValueError("usage: swap <store path> [mmap]")
+        snapshot = self.manager.swap_from_path(
+            args[0], mmap=len(args) == 2)
+        store = snapshot.store
+        return (f"swapped to snapshot v{snapshot.version} "
+                f"({store.num_users} users, {store.num_items} items, "
+                f"model {store.metadata.get('model', '?')})")

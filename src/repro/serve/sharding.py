@@ -1,0 +1,112 @@
+"""Item-axis sharded ranking: fan the scoring GEMMs out on a thread pool.
+
+:class:`ShardedRanker` splits the catalog's fixed column-tile grid (see
+:data:`repro.serve.ranker.SCORE_TILE`) into ``num_shards`` contiguous
+shard ranges and computes each shard's score tiles on a worker thread —
+numpy's BLAS matmul releases the GIL, so shards overlap on real cores.
+Masking and top-k selection then run on the *merged* full-width score
+block through the exact same ``_neg_topk_rows`` kernel as
+:class:`repro.serve.ranker.BatchRanker`.
+
+Why merge scores rather than per-shard top-k lists: ``_neg_topk_rows``
+breaks ties with ``argpartition`` (introselect) whose ordering among
+exactly-tied values depends on the partition layout of its input.  Tied
+scores are routine here — strict cold-start items under some baselines
+share identical (even all-zero) vectors — so a per-shard select +
+k-way merge cannot reproduce the single-shard kernel's tie order bit for
+bit.  Running the one shared kernel on the merged block can never
+diverge.  The same reasoning pins the scoring decomposition: BLAS GEMM
+results are not invariant to operand shape or buffer, so shards compute
+the *same fixed tile grid* as the base ranker (just scheduled on
+threads), never a per-shard re-partition of the catalog.  Both choices
+together make ``ShardedRanker.topk`` bit-identical to
+``BatchRanker.topk`` at every shard count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..backend import active as _active_backend
+from .ranker import BatchRanker
+
+
+class ShardedRanker(BatchRanker):
+    """A :class:`BatchRanker` whose scoring fans out over item shards.
+
+    Drop-in replacement: same constructor plus ``num_shards``, same
+    ``topk`` contract, bit-identical results.  The thread pool is
+    created lazily and sized to ``num_shards``; call :meth:`close` (or
+    use the ranker as a context manager) to release it.
+    """
+
+    def __init__(self, user_vectors: np.ndarray, item_vectors: np.ndarray,
+                 *, num_shards: int = 2, **kwargs):
+        super().__init__(user_vectors, item_vectors, **kwargs)
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = int(num_shards)
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def shard_ranges(self, num_columns: int) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` column ranges, one per non-empty
+        shard, each aligned to the fixed tile grid."""
+        tiles = [(lo, min(lo + self.score_tile, num_columns))
+                 for lo in range(0, num_columns, self.score_tile)]
+        shards = min(self.num_shards, len(tiles))
+        if shards <= 0:
+            return []
+        bounds = np.linspace(0, len(tiles), shards + 1).astype(int)
+        return [(tiles[lo][0], tiles[hi - 1][1])
+                for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="repro-shard")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedRanker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _score_neg_block(self, user_block: np.ndarray,
+                         items: np.ndarray) -> np.ndarray:
+        """Compute the tile grid's GEMMs shard-parallel, writing each
+        shard's negated tiles into disjoint columns of one merged block.
+        Identical per-tile calls to the base ranker — only the schedule
+        differs — so the merged block is bitwise equal to the serial one.
+        """
+        n = items.shape[0]
+        ranges = self.shard_ranges(n)
+        if len(ranges) <= 1:
+            return super()._score_neg_block(user_block, items)
+        backend = _active_backend()
+        out = np.empty((user_block.shape[0], n),
+                       dtype=np.result_type(user_block, items))
+
+        def score_shard(lo: int, hi: int) -> None:
+            for tile_lo in range(lo, hi, self.score_tile):
+                tile_hi = min(tile_lo + self.score_tile, hi)
+                tile = backend.matmul(user_block, items[tile_lo:tile_hi].T)
+                np.negative(tile, out=tile)
+                out[:, tile_lo:tile_hi] = tile
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(score_shard, lo, hi) for lo, hi in ranges]
+        for future in futures:
+            future.result()
+        return out

@@ -5,7 +5,10 @@ trained model — final user/item representation matrices (including the
 frozen-graph expansions for strict cold-start items), the training
 interactions used for seen-item masking, the raw per-item modality
 features, and the kNN budget of the frozen item-item graphs — as
-contiguous ``float32`` arrays with save/load to a single ``.npz``.
+contiguous ``float32`` arrays.  Two on-disk formats: v1, a compressed
+single-file ``.npz``; and v2, an uncompressed directory of raw ``.npy``
+arrays plus a JSON manifest that ``load(mmap=True)`` maps zero-copy
+straight off the page cache.
 
 Unlike a training checkpoint (:mod:`repro.train.checkpoint`), which
 stores *parameters* and rebuilds graphs from the dataset, a store holds
@@ -18,6 +21,8 @@ brand-new items arrive after training.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +32,8 @@ from .ranker import interactions_to_csr
 
 HEADER_KEY = "__store_header__"
 FORMAT_VERSION = 1
+V2_FORMAT_VERSION = 2
+MANIFEST_NAME = "manifest.json"
 DEFAULT_ITEM_TOPK = 10
 
 
@@ -150,20 +157,15 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
-        """Write the snapshot to a compressed ``.npz`` archive; returns
-        the path actually written (``np.savez`` appends ``.npz`` to
-        extensionless paths, so normalize up front)."""
-        path = Path(path)
-        if path.suffix != ".npz":
-            path = Path(f"{path}.npz")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        header = {
-            "version": FORMAT_VERSION,
+    def _header(self, version: int) -> dict:
+        return {
+            "version": version,
             "item_topk": self.item_topk,
             "modalities": list(self.modalities),
             "metadata": self.metadata,
         }
+
+    def _arrays(self) -> dict:
         arrays = {
             "user_vectors": self.user_vectors,
             "item_vectors": self.item_vectors,
@@ -174,15 +176,78 @@ class EmbeddingStore:
         }
         for modality, feats in self.features.items():
             arrays[f"features.{modality}"] = feats
+        return arrays
+
+    def save(self, path: str | Path, format: str = "v1") -> Path:
+        """Write the snapshot; returns the path actually written.
+
+        ``format="v1"`` writes the compressed single-file ``.npz``
+        archive (``np.savez`` appends ``.npz`` to extensionless paths,
+        so normalize up front).  ``format="v2"`` writes the mmap-able
+        directory layout: one raw ``.npy`` per array plus a JSON
+        manifest, staged into a sibling temp directory and published
+        with ``os.replace`` so readers never observe a half-written
+        snapshot.
+        """
+        if format == "v2":
+            return self._save_v2(Path(path))
+        if format != "v1":
+            raise ValueError(f"unknown store format {format!r}; "
+                             "expected 'v1' or 'v2'")
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = Path(f"{path}.npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = self._arrays()
         arrays[HEADER_KEY] = np.frombuffer(
-            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+            json.dumps(self._header(FORMAT_VERSION)).encode("utf-8"),
+            dtype=np.uint8)
         np.savez_compressed(path, **arrays)
         return path
 
+    def _save_v2(self, path: Path) -> Path:
+        if path.suffix == ".npz":
+            raise ValueError("format v2 writes a directory, not a .npz; "
+                             "drop the suffix")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staged = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        if staged.exists():
+            shutil.rmtree(staged)
+        staged.mkdir()
+        try:
+            for name, array in self._arrays().items():
+                np.save(staged / f"{name}.npy", array)
+            # Manifest last: a directory without one is recognizably
+            # incomplete, never silently loaded.
+            (staged / MANIFEST_NAME).write_text(
+                json.dumps(self._header(V2_FORMAT_VERSION), indent=2))
+            if path.exists():
+                shutil.rmtree(path)
+            os.replace(staged, path)
+        except BaseException:
+            shutil.rmtree(staged, ignore_errors=True)
+            raise
+        return path
+
     @classmethod
-    def load(cls, path: str | Path) -> "EmbeddingStore":
-        """Reconstruct a snapshot written by :meth:`save`."""
-        with np.load(Path(path), allow_pickle=False) as archive:
+    def load(cls, path: str | Path, mmap: bool = False) -> "EmbeddingStore":
+        """Reconstruct a snapshot written by :meth:`save`.
+
+        Detects the format from the path: a directory is format v2, a
+        file is the v1 ``.npz``.  ``mmap=True`` (v2 only) memory-maps
+        the user/item/feature matrices read-only instead of copying them
+        into RAM — :class:`EmbeddingStore`'s contiguous-``float32``
+        coercion is a no-op on the already-contiguous raw arrays, so the
+        store serves straight off the page cache.
+        """
+        path = Path(path)
+        if path.is_dir():
+            return cls._load_v2(path, mmap=mmap)
+        if mmap:
+            raise ValueError(
+                "format v1 archives are compressed and cannot be "
+                "memory-mapped; re-export with save(format='v2')")
+        with np.load(path, allow_pickle=False) as archive:
             header = json.loads(
                 archive[HEADER_KEY].tobytes().decode("utf-8"))
             if header["version"] != FORMAT_VERSION:
@@ -206,6 +271,43 @@ class EmbeddingStore:
                 item_topk=header["item_topk"],
                 metadata=header["metadata"],
             )
+
+    @classmethod
+    def _load_v2(cls, path: Path, mmap: bool = False) -> "EmbeddingStore":
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ValueError(f"{path} has no {MANIFEST_NAME}: not a "
+                             "format v2 store (or a torn write)")
+        header = json.loads(manifest_path.read_text())
+        if header["version"] != V2_FORMAT_VERSION:
+            raise ValueError(f"unsupported store version "
+                             f"{header['version']}")
+
+        def read(name: str, mapped: bool) -> np.ndarray:
+            # Only the big matrices are mapped; flags and CSR index
+            # arrays are small and scipy would copy them anyway.
+            mode = "r" if (mmap and mapped) else None
+            return np.load(path / f"{name}.npy", mmap_mode=mode,
+                           allow_pickle=False)
+
+        user_vectors = read("user_vectors", True)
+        item_vectors = read("item_vectors", True)
+        indices = read("seen.indices", False)
+        seen = sp.csr_matrix(
+            (np.ones(len(indices), dtype=bool), indices,
+             read("seen.indptr", False)),
+            shape=(user_vectors.shape[0], item_vectors.shape[0]))
+        return cls(
+            user_vectors=user_vectors,
+            item_vectors=item_vectors,
+            seen=seen,
+            features={m: read(f"features.{m}", True)
+                      for m in header["modalities"]},
+            is_cold=read("is_cold", False),
+            is_ingested=read("is_ingested", False),
+            item_topk=header["item_topk"],
+            metadata=header["metadata"],
+        )
 
     # ------------------------------------------------------------------
     def describe(self) -> dict:

@@ -8,7 +8,9 @@ import pytest
 from repro.analysis.case_study import (run_case_study,
                                        similar_items_under_subset)
 from repro.analysis.timing import (measure_feature_sets,
-                                   measure_training_throughput)
+                                   measure_serving_latency,
+                                   measure_training_throughput,
+                                   synthetic_serving_store)
 from repro.core import FirzenModel
 from repro.train import TrainConfig, train_model
 
@@ -92,3 +94,39 @@ class TestTrainingThroughput:
             embedding_dim=16,
             train_config=TrainConfig(batch_size=256))
         assert engine.get_engine().fold == before
+
+
+class TestServingLatency:
+    def test_synthetic_store_shape(self):
+        store = synthetic_serving_store(num_users=30, num_items=80, dim=8,
+                                        seed=3)
+        assert store.num_users == 30 and store.num_items == 80
+        assert 0 < store.is_cold.sum() < 80
+        assert store.seen.nnz > 0
+        assert store.modalities == ("image",)
+        # deterministic for a given seed
+        again = synthetic_serving_store(num_users=30, num_items=80, dim=8,
+                                        seed=3)
+        np.testing.assert_array_equal(store.item_vectors,
+                                      again.item_vectors)
+
+    def test_measure_serving_latency_rows(self):
+        store = synthetic_serving_store(num_users=40, num_items=200, dim=8,
+                                        seed=1)
+        rows = measure_serving_latency(
+            store, clients=2, requests_per_client=4, k=5,
+            shard_counts=(1, 2), repeats=1, measure_ingest=True, seed=1)
+        scenarios = [(r.scenario, r.num_shards) for r in rows]
+        assert scenarios == [("topk under load", 1), ("topk under load", 2),
+                             ("ingest under load", 1)]
+        for row in rows:
+            assert row.requests == 8
+            assert 0 < row.p50_ms <= row.p99_ms
+            assert row.requests_per_second > 0
+            assert row.sequential_requests_per_second > 0
+            assert row.speedup > 0
+            assert row.mean_batch_size >= 1
+            cells = row.as_row()
+            assert cells["Scenario"] == row.scenario
+            assert "Backend" in cells and "BLAS threads" in cells
+        assert rows[-1].ingests > 0

@@ -1,0 +1,199 @@
+"""Tests for the micro-batching queue and the HTTP serving daemon."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (BatchRanker, EmbeddingStore, MicroBatcher,
+                         ServingDaemon, SnapshotManager)
+
+
+def make_store(seed, num_items=50):
+    rng = np.random.default_rng(seed)
+    return EmbeddingStore(
+        rng.normal(size=(30, 8)), rng.normal(size=(num_items, 8)),
+        features={"image": rng.normal(size=(num_items, 5))},
+        is_cold=rng.random(num_items) < 0.3,
+        metadata={"model": f"seed{seed}"})
+
+
+@pytest.fixture()
+def manager():
+    return SnapshotManager(make_store(1))
+
+
+class TestMicroBatcher:
+    def test_single_request_matches_library_ranker(self, manager):
+        batcher = MicroBatcher(manager)
+        try:
+            response = batcher.submit(3, 5).result(timeout=30)
+        finally:
+            batcher.stop()
+        store = manager.current.store
+        expected = BatchRanker.from_store(store).topk(np.array([3]), 5)
+        assert response["items"] == expected.items[0].tolist()
+        assert response["scores"] == expected.scores[0].tolist()
+        assert response["snapshot_version"] == 1
+
+    def test_cold_mode_restricts_candidates(self, manager):
+        batcher = MicroBatcher(manager)
+        try:
+            response = batcher.submit(3, 5, mode="cold").result(timeout=30)
+        finally:
+            batcher.stop()
+        store = manager.current.store
+        expected = BatchRanker.from_store(store).topk(
+            np.array([3]), 5, candidates=store.cold_items())
+        assert response["items"] == expected.items[0].tolist()
+
+    def test_concurrent_requests_coalesce_and_stay_exact(self, manager):
+        store = manager.current.store
+        reference = BatchRanker.from_store(store).topk(
+            np.arange(store.num_users), 7)
+        batcher = MicroBatcher(manager, max_batch=16)
+        try:
+            futures = [batcher.submit(user, 7)
+                       for user in range(store.num_users)]
+            for user, future in enumerate(futures):
+                response = future.result(timeout=30)
+                # batching changes scheduling, never results
+                assert response["items"] == \
+                    reference.items[user].tolist()
+            stats = batcher.stats()
+        finally:
+            batcher.stop()
+        assert stats["requests"] == store.num_users
+        # the burst must actually have been coalesced
+        assert stats["max_batch_observed"] > 1
+        assert stats["batches"] < stats["requests"]
+
+    def test_invalid_mode_rejected(self, manager):
+        batcher = MicroBatcher(manager)
+        try:
+            with pytest.raises(ValueError):
+                batcher.submit(0, 5, mode="nope")
+        finally:
+            batcher.stop()
+
+    def test_error_propagates_to_future(self, manager):
+        batcher = MicroBatcher(manager)
+        try:
+            # out-of-range user id: the scoring gather raises inside the
+            # worker and the future must surface it, not hang
+            with pytest.raises(IndexError):
+                batcher.submit(10_000, 5).result(timeout=30)
+        finally:
+            batcher.stop()
+
+
+def _get(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _post(url, body, timeout=30):
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+class TestServingDaemon:
+    @pytest.fixture()
+    def daemon(self, manager):
+        with ServingDaemon(manager) as running:
+            yield running
+
+    def test_healthz_and_stats(self, daemon):
+        health = _get(daemon.url + "/healthz")
+        assert health == {"status": "ok", "snapshot_version": 1}
+        stats = _get(daemon.url + "/stats")
+        assert stats["snapshot_version"] == 1
+        assert stats["store"]["items"] == 50
+
+    def test_topk_round_trip_matches_ranker(self, daemon, manager):
+        response = _get(daemon.url + "/topk?user=4&k=6")
+        expected = BatchRanker.from_store(manager.current.store).topk(
+            np.array([4]), 6)
+        assert response["items"] == expected.items[0].tolist()
+        assert response["snapshot_version"] == 1
+
+    def test_cold_round_trip(self, daemon, manager):
+        store = manager.current.store
+        response = _get(daemon.url + "/cold?user=4&k=3")
+        expected = BatchRanker.from_store(store).topk(
+            np.array([4]), 3, candidates=store.cold_items())
+        assert response["items"] == expected.items[0].tolist()
+
+    def test_bad_requests_return_4xx(self, daemon):
+        for path in ("/topk", "/topk?user=notanint", "/topk?user=99999",
+                     "/nope"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(daemon.url + path)
+            assert 400 <= excinfo.value.code < 500
+            assert "error" in json.loads(excinfo.value.read())
+
+    def test_swap_round_trip(self, daemon, manager, tmp_path):
+        new_store = make_store(2)
+        path = new_store.save(tmp_path / "next", format="v2")
+        response = _post(daemon.url + "/swap",
+                         {"path": str(path), "mmap": True})
+        assert response["snapshot_version"] == 2
+        after = _get(daemon.url + "/topk?user=4&k=6")
+        expected = BatchRanker.from_store(new_store).topk(np.array([4]), 6)
+        assert after["items"] == expected.items[0].tolist()
+        assert after["snapshot_version"] == 2
+
+    def test_ingest_round_trip(self, daemon, manager, rng):
+        before = manager.current.store.num_items
+        response = _post(daemon.url + "/ingest", {"features": {
+            "image": rng.normal(size=(2, 5)).tolist()}})
+        assert response["ingested_items"] == [before, before + 1]
+        assert response["num_items"] == before + 2
+        # the republished snapshot ranks the new items
+        cold = _get(daemon.url + f"/cold?user=0&k={before + 2}")
+        assert before in cold["items"] and before + 1 in cold["items"]
+
+    def test_concurrent_queries_during_swap_are_never_torn(
+            self, daemon, manager, tmp_path):
+        """Every response racing a hot-swap must bit-match the library
+        ranker of the snapshot version the response claims."""
+        stores = {1: manager.current.store, 2: make_store(2)}
+        path = stores[2].save(tmp_path / "next", format="v2")
+        users = list(range(stores[1].num_users))
+        expected = {
+            version: BatchRanker.from_store(store).topk(
+                np.asarray(users), 6)
+            for version, store in stores.items()}
+        failures: list = []
+        swapped = threading.Event()
+
+        def client(user):
+            try:
+                for _ in range(6):
+                    response = _get(daemon.url + f"/topk?user={user}&k=6")
+                    version = response["snapshot_version"]
+                    want = expected[version].items[user].tolist()
+                    if response["items"] != want:
+                        failures.append((user, version, response))
+            except Exception as exc:  # pragma: no cover - diagnostics
+                failures.append((user, "exc", exc))
+
+        threads = [threading.Thread(target=client, args=(user,))
+                   for user in users[:8]]
+        for thread in threads:
+            thread.start()
+        _post(daemon.url + "/swap", {"path": str(path)})
+        swapped.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures
+        versions = {_get(daemon.url + "/healthz")["snapshot_version"]}
+        assert versions == {2}

@@ -42,6 +42,16 @@ class TestInteractionsToCsr:
         assert matrix.shape == (5, 6) and matrix.nnz == 0
 
 
+def loop_extra_seen_reference(scores, users, extra_seen):
+    """The historical per-row Python loop, verbatim, as the parity
+    reference for the flattened-scatter rewrite."""
+    for row, user in enumerate(users):
+        items = extra_seen.get(int(user))
+        if items is not None and len(items):
+            scores[row, np.fromiter(items, dtype=np.int64)] = -np.inf
+    return scores
+
+
 class TestApplySeenMask:
     def test_masks_csr_rows(self, rng):
         scores = rng.normal(size=(3, 6))
@@ -57,6 +67,28 @@ class TestApplySeenMask:
                         extra_seen={3: [1, 2], 5: [0]})
         assert scores[1, 1] == -np.inf and scores[1, 2] == -np.inf
         assert np.isfinite(scores[0]).all()
+
+    def test_extra_seen_scatter_matches_loop_on_duplicate_users(self, rng):
+        # The flattened (row, col) scatter must mask exactly what the
+        # old per-row loop masked, including when the same user appears
+        # in several rows and when the duplicate rows repeat their sets.
+        users = np.array([3, 7, 3, 3, 9, 7, 11])
+        extra_seen = {3: [0, 5, 5], 7: [2], 9: [], 11: [1, 8],
+                      99: [4]}  # 99 not in the batch
+        scores = rng.normal(size=(len(users), 12))
+        expected = loop_extra_seen_reference(scores.copy(), users,
+                                             extra_seen)
+        apply_seen_mask(scores, users, None, extra_seen=extra_seen)
+        np.testing.assert_array_equal(scores, expected)
+
+    def test_extra_seen_empty_batch_and_empty_dict(self, rng):
+        scores = rng.normal(size=(3, 5))
+        before = scores.copy()
+        apply_seen_mask(scores, np.array([0, 1, 2]), None, extra_seen={})
+        np.testing.assert_array_equal(scores, before)
+        empty = rng.normal(size=(0, 5))
+        apply_seen_mask(empty, np.array([], dtype=np.int64), None,
+                        extra_seen={0: [1]})
 
 
 class TestTopkFromScores:
@@ -171,6 +203,33 @@ class TestBatchRanker:
     def test_dimension_mismatch_rejected(self, rng):
         with pytest.raises(ValueError):
             BatchRanker(rng.normal(size=(3, 4)), rng.normal(size=(5, 6)))
+
+    def test_invalid_score_tile_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchRanker(rng.normal(size=(3, 4)), rng.normal(size=(5, 4)),
+                        score_tile=0)
+
+    def test_no_negated_item_matrix_resident(self):
+        # Satellite of the eager-negation removal: constructing a ranker
+        # over a large catalog and scoring against it must not allocate
+        # a second catalog-sized matrix (the old `_neg_item_vectors`
+        # copy). Peak RSS is a high-water mark, so the item matrix is
+        # sized to dominate anything the suite has touched so far; the
+        # old copy would add its full 128 MB on top of the baseline.
+        import resource
+
+        num_items, dim = 500_000, 64
+        rng = np.random.default_rng(0)
+        items_mat = rng.standard_normal((num_items, dim), dtype=np.float32)
+        users_mat = rng.standard_normal((4, dim), dtype=np.float32)
+        baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        ranker = BatchRanker(users_mat, items_mat, block_size=4)
+        ranker.topk(np.arange(4), 10)
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        item_matrix_kb = items_mat.nbytes // 1024
+        # scoring working set (score block + argpartition indices) is
+        # ~24 MB here; a negated catalog copy would be 128 MB
+        assert peak_kb - baseline_kb < item_matrix_kb // 2
 
 
 class TestProtocolParity:

@@ -79,6 +79,33 @@ class TestErrors:
         assert session.execute("ingest a b").startswith("error:")
 
 
+class TestSwapFlow:
+    def test_swap_command_publishes_new_snapshot(self, session, tmp_path,
+                                                 rng):
+        other = EmbeddingStore(rng.normal(size=(12, 8)),
+                               rng.normal(size=(9, 8)),
+                               metadata={"model": "swapped-in"})
+        path = other.save(tmp_path / "next", format="v2")
+        output = session.execute(f"swap {path} mmap")
+        assert "snapshot v2" in output
+        assert session.store.metadata["model"] == "swapped-in"
+        assert "snapshot version: 2" in session.execute("stats")
+        assert session.execute("topk 0 3").startswith("user 0 ->")
+
+    def test_swap_errors_keep_session_alive(self, session, tmp_path):
+        assert session.execute("swap").startswith("error:")
+        output = session.execute(f"swap {tmp_path / 'absent'}")
+        assert output.startswith("error:")
+        assert session.execute("topk 0 1").startswith("user 0 ->")
+
+    def test_sharded_session_serves(self, tiny_dataset):
+        model = create_model("BPR", tiny_dataset, embedding_dim=8)
+        store = EmbeddingStore.from_model(model, tiny_dataset)
+        plain = ServingSession(store, default_k=5)
+        sharded = ServingSession(store, default_k=5, num_shards=3)
+        assert sharded.execute("topk 3 4") == plain.execute("topk 3 4")
+
+
 class TestIngestFlow:
     def test_ingest_then_query_cold_item(self, session, tmp_path):
         store = session.store

@@ -1,0 +1,151 @@
+"""Tests for the sharded ranker: bit-parity with the single-shard
+BatchRanker is the contract, at every shard count and query shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchRanker, EmbeddingStore, ShardedRanker
+from repro.serve.ranker import interactions_to_csr
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+@pytest.fixture()
+def store(rng):
+    # float32 store-path vectors, catalog larger than the small test
+    # tile so sharding actually splits the grid
+    num_users, num_items, dim = 40, 90, 8
+    pairs = np.array([[u, rng.integers(num_items)] for u in range(num_users)
+                      for _ in range(4)])
+    return EmbeddingStore(
+        rng.normal(size=(num_users, dim)),
+        rng.normal(size=(num_items, dim)),
+        seen=interactions_to_csr(pairs, num_users, num_items),
+        is_cold=rng.random(num_items) < 0.3,
+    )
+
+
+def make_pair(store, num_shards, score_tile=16):
+    """A BatchRanker and a ShardedRanker over the same store arrays,
+    with a tile small enough that the grid really splits."""
+    base = BatchRanker.from_store(store, block_size=7,
+                                  score_tile=score_tile)
+    sharded = ShardedRanker.from_store(store, num_shards=num_shards,
+                                       block_size=7,
+                                       score_tile=score_tile)
+    return base, sharded
+
+
+def assert_same(result_a, result_b):
+    np.testing.assert_array_equal(result_a.items, result_b.items)
+    np.testing.assert_array_equal(result_a.scores, result_b.scores)
+
+
+class TestShardParity:
+    """Every (candidates, mask_seen, extra_seen) combination, at shard
+    counts 1/2/7, must be bit-identical to the single-shard ranker."""
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("with_candidates", (False, True))
+    @pytest.mark.parametrize("mask_seen", (False, True))
+    @pytest.mark.parametrize("with_extra", (False, True))
+    def test_bit_identical(self, store, rng, num_shards, with_candidates,
+                           mask_seen, with_extra):
+        base, sharded = make_pair(store, num_shards)
+        users = rng.integers(0, store.num_users, size=23)
+        candidates = (rng.choice(store.num_items, size=61, replace=False)
+                      if with_candidates else None)
+        extra = ({int(u): [int(rng.integers(store.num_items))
+                           for _ in range(3)] for u in users[:5]}
+                 if with_extra else None)
+        with sharded:
+            assert_same(
+                base.topk(users, 12, candidates=candidates,
+                          mask_seen=mask_seen, extra_seen=extra),
+                sharded.topk(users, 12, candidates=candidates,
+                             mask_seen=mask_seen, extra_seen=extra))
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_bit_identical_with_heavy_ties(self, rng, num_shards):
+        # Quantized scores tie everywhere, including across shard
+        # boundaries: the merged-block kernel must make the same
+        # choices as the single-shard one.
+        users_mat = np.round(rng.normal(size=(20, 4)), 0).astype(np.float32)
+        items_mat = np.round(rng.normal(size=(70, 4)), 0).astype(np.float32)
+        base = BatchRanker(users_mat, items_mat, score_tile=8)
+        with ShardedRanker(users_mat, items_mat, num_shards=num_shards,
+                           score_tile=8) as sharded:
+            assert_same(base.topk(np.arange(20), 9),
+                        sharded.topk(np.arange(20), 9))
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_bit_identical_at_default_tile(self, rng, num_shards):
+        # Catalog spanning several default-width tiles: the production
+        # configuration, not just the shrunken test tile.
+        users_mat = rng.normal(size=(6, 16)).astype(np.float32)
+        items_mat = rng.normal(size=(3 * 4096 + 77, 16)).astype(np.float32)
+        base = BatchRanker(users_mat, items_mat)
+        with ShardedRanker(users_mat, items_mat,
+                           num_shards=num_shards) as sharded:
+            assert_same(base.topk(np.arange(6), 15),
+                        sharded.topk(np.arange(6), 15))
+
+    def test_cold_candidates_parity(self, store):
+        base, sharded = make_pair(store, 7)
+        with sharded:
+            cold = store.cold_items()
+            assert_same(base.topk(np.arange(10), 8, candidates=cold),
+                        sharded.topk(np.arange(10), 8, candidates=cold))
+
+
+class TestShardMechanics:
+    def test_shard_ranges_cover_and_align(self, store):
+        sharded = ShardedRanker.from_store(store, num_shards=7,
+                                           score_tile=16)
+        ranges = sharded.shard_ranges(store.num_items)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == store.num_items
+        for (_, hi), (lo, _) in zip(ranges[:-1], ranges[1:]):
+            assert hi == lo                      # contiguous, no gaps
+        for lo, _ in ranges:
+            assert lo % sharded.score_tile == 0  # tile-grid aligned
+
+    def test_more_shards_than_tiles(self, rng):
+        users_mat = rng.normal(size=(4, 4)).astype(np.float32)
+        items_mat = rng.normal(size=(20, 4)).astype(np.float32)
+        base = BatchRanker(users_mat, items_mat, score_tile=16)
+        with ShardedRanker(users_mat, items_mat, num_shards=7,
+                           score_tile=16) as sharded:
+            assert len(sharded.shard_ranges(20)) == 2
+            assert_same(base.topk(np.arange(4), 5),
+                        sharded.topk(np.arange(4), 5))
+
+    def test_single_shard_avoids_pool(self, store):
+        sharded = ShardedRanker.from_store(store, num_shards=1,
+                                           score_tile=16)
+        sharded.topk(np.arange(5), 5)
+        assert sharded._pool is None
+
+    def test_close_is_idempotent(self, store):
+        sharded = ShardedRanker.from_store(store, num_shards=3,
+                                           score_tile=16)
+        sharded.topk(np.arange(5), 5)
+        assert sharded._pool is not None
+        sharded.close()
+        sharded.close()
+        assert sharded._pool is None
+        # usable again after close: the pool is rebuilt lazily
+        sharded.topk(np.arange(5), 5)
+        sharded.close()
+
+    def test_invalid_shard_count_rejected(self, store):
+        with pytest.raises(ValueError):
+            ShardedRanker.from_store(store, num_shards=0)
+
+    def test_scores_property_unchanged(self, store):
+        base, sharded = make_pair(store, 4)
+        with sharded:
+            np.testing.assert_array_equal(base.scores(np.arange(8)),
+                                          sharded.scores(np.arange(8)))

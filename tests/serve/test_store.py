@@ -87,6 +87,104 @@ class TestRoundTrip:
         np.testing.assert_array_equal(before.items, after.items)
 
 
+def assert_stores_equal(loaded, store):
+    np.testing.assert_array_equal(loaded.user_vectors, store.user_vectors)
+    np.testing.assert_array_equal(loaded.item_vectors, store.item_vectors)
+    np.testing.assert_array_equal(loaded.is_cold, store.is_cold)
+    np.testing.assert_array_equal(loaded.is_ingested, store.is_ingested)
+    assert (loaded.seen != store.seen).nnz == 0
+    assert loaded.modalities == store.modalities
+    for modality in store.modalities:
+        np.testing.assert_array_equal(loaded.features[modality],
+                                      store.features[modality])
+    assert loaded.item_topk == store.item_topk
+    assert loaded.metadata == store.metadata
+
+
+def is_memory_mapped(array):
+    """Walk the base chain down to the backing buffer: a zero-copy view
+    of a mapped file has a ``np.memmap`` somewhere below it (whose own
+    ``.base`` is an ``mmap.mmap``, not an ndarray)."""
+    base = array
+    while isinstance(base, np.ndarray):
+        if isinstance(base, np.memmap):
+            return True
+        base = base.base
+    return False
+
+
+class TestFormatV2:
+    def test_v2_round_trip_equals_v1(self, store, tmp_path):
+        v1 = EmbeddingStore.load(store.save(tmp_path / "a"))
+        v2 = EmbeddingStore.load(store.save(tmp_path / "b", format="v2"))
+        assert_stores_equal(v1, store)
+        assert_stores_equal(v2, store)
+
+    def test_mmap_load_is_zero_copy(self, store, tmp_path):
+        path = store.save(tmp_path / "s", format="v2")
+        mapped = EmbeddingStore.load(path, mmap=True)
+        assert_stores_equal(mapped, store)
+        for array in (mapped.user_vectors, mapped.item_vectors,
+                      *(mapped.features[m] for m in mapped.modalities)):
+            assert not array.flags["OWNDATA"]
+            assert is_memory_mapped(array)
+        # the eager load really does copy, as a control
+        eager = EmbeddingStore.load(path)
+        assert not is_memory_mapped(eager.item_vectors)
+
+    def test_mmap_store_preserves_rankings(self, store, tmp_path):
+        path = store.save(tmp_path / "s", format="v2")
+        mapped = EmbeddingStore.load(path, mmap=True)
+        users = np.arange(6)
+        before = BatchRanker.from_store(store).topk(users, 10)
+        after = BatchRanker.from_store(mapped).topk(users, 10)
+        np.testing.assert_array_equal(before.items, after.items)
+        np.testing.assert_array_equal(before.scores, after.scores)
+
+    def test_mmap_on_v1_rejected(self, store, tmp_path):
+        path = store.save(tmp_path / "s.npz")
+        with pytest.raises(ValueError, match="re-export"):
+            EmbeddingStore.load(path, mmap=True)
+
+    def test_v2_rejects_npz_suffix(self, store, tmp_path):
+        with pytest.raises(ValueError, match="directory"):
+            store.save(tmp_path / "s.npz", format="v2")
+
+    def test_unknown_format_rejected(self, store, tmp_path):
+        with pytest.raises(ValueError, match="unknown store format"):
+            store.save(tmp_path / "s", format="v3")
+
+    def test_republish_over_existing_directory(self, store, tmp_path):
+        path = store.save(tmp_path / "s", format="v2")
+        other = EmbeddingStore(store.user_vectors * 2.0,
+                               store.item_vectors * 2.0,
+                               metadata={"model": "replacement"})
+        assert other.save(path, format="v2") == path
+        reloaded = EmbeddingStore.load(path)
+        assert reloaded.metadata["model"] == "replacement"
+        np.testing.assert_array_equal(reloaded.item_vectors,
+                                      other.item_vectors)
+
+    def test_torn_write_rejected(self, store, tmp_path):
+        # A directory without a manifest is an interrupted publish and
+        # must never load as a (partial) store.
+        path = store.save(tmp_path / "s", format="v2")
+        (path / "manifest.json").unlink()
+        with pytest.raises(ValueError, match="torn"):
+            EmbeddingStore.load(path)
+
+    def test_ingest_onto_mmap_store(self, store, tmp_path, rng):
+        # Onboarding grows the item axis, which cannot happen in-place
+        # on a read-only mapping; the store must still accept ingests.
+        path = store.save(tmp_path / "s", format="v2")
+        mapped = EmbeddingStore.load(path, mmap=True)
+        new = {m: rng.normal(size=(2, store.features[m].shape[1]))
+               for m in store.modalities}
+        ids = mapped.ingest_items(new)
+        assert list(ids) == [store.num_items, store.num_items + 1]
+        assert mapped.num_items == store.num_items + 2
+
+
 class TestValidation:
     def test_dim_mismatch(self, rng):
         with pytest.raises(ValueError):
