@@ -57,7 +57,7 @@ from ..data.datasets import RecDataset
 from ..data.splits import ColdStartSplit
 from ..data.world import WorldConfig
 from ..engine.plan import tape_mode as _tape_mode
-from ..serve.daemon import MicroBatcher
+from ..serve.daemon import LoadShedError, MicroBatcher
 from ..serve.ranker import BatchRanker, interactions_to_csr
 from ..serve.snapshot import SnapshotManager
 from ..serve.store import EmbeddingStore
@@ -466,6 +466,12 @@ class ServingLatencyRow:
     sequential_requests_per_second: float
     mean_batch_size: float
     ingests: int = 0
+    #: requests rejected at admission (queue full / draining) during the
+    #: reported round — clients retried them, so the row's latencies
+    #: include the shed-and-retry cost
+    shed: int = 0
+    #: requests failed because their deadline passed while queued
+    expired: int = 0
     runtime: dict = field(default_factory=runtime_columns)
 
     @property
@@ -487,6 +493,8 @@ class ServingLatencyRow:
                 self.sequential_requests_per_second, 1),
             "Speedup": round(self.speedup, 2),
             "Mean batch": round(self.mean_batch_size, 1),
+            "Shed": self.shed,
+            "Expired": self.expired,
             **self.runtime,
         }
 
@@ -510,7 +518,15 @@ def _run_concurrent_clients(batcher: MicroBatcher, users: np.ndarray,
             barrier.wait()
             for i, user in enumerate(picks):
                 start = time.perf_counter()
-                batcher.submit(int(user), k).result(timeout=60)
+                while True:
+                    try:
+                        future = batcher.submit(int(user), k)
+                        break
+                    except LoadShedError:
+                        # shed: back off briefly and retry, so the
+                        # latency recorded includes the shedding cost
+                        time.sleep(0.001)
+                future.result(timeout=60)
                 own[i] = time.perf_counter() - start
             latencies[idx] = own
         except Exception as exc:  # surfaced to the caller below
@@ -611,6 +627,8 @@ def measure_serving_latency(store: EmbeddingStore | None = None,
             sequential_requests_per_second=(
                 num_requests / best_wall["sequential"]),
             mean_batch_size=batch_stats.get("mean_batch_size", 0.0),
+            shed=batch_stats.get("shed", 0),
+            expired=batch_stats.get("expired", 0),
         ))
         if hasattr(ranker, "close"):
             ranker.close()
@@ -684,6 +702,8 @@ def _measure_ingest_under_load(store: EmbeddingStore, users: np.ndarray,
         sequential_requests_per_second=num_requests / sequential_wall,
         mean_batch_size=batcher.stats()["mean_batch_size"],
         ingests=ingests_done,
+        shed=batcher.stats()["shed"],
+        expired=batcher.stats()["expired"],
     )
 
 

@@ -24,6 +24,12 @@ Commands
     ``--daemon`` starts the stdlib-HTTP JSON service instead
     (micro-batched admission queue, optional item-axis sharding via
     ``--num-shards``, atomic snapshot hot-swap via ``POST /swap``).
+    ``--max-queue`` bounds the admission queue (overflow is shed with
+    503 + ``Retry-After``), ``--deadline-ms`` fails queued-too-long
+    requests with 504 instead of serving them late, and
+    ``--shutdown-grace-s`` bounds the graceful drain on shutdown
+    (in-flight batches finish; new requests are rejected and
+    ``/healthz`` reports ``draining``).
 ``run``
     Execute a declarative experiment spec — a named preset or a JSON
     spec file — through the resumable, content-addressed experiment
@@ -260,7 +266,10 @@ def cmd_serve(args) -> int:
                                   block_size=args.block_size)
         daemon = ServingDaemon(manager, host=args.host, port=args.port,
                                max_batch=args.max_batch,
-                               max_delay_ms=args.max_delay_ms)
+                               max_delay_ms=args.max_delay_ms,
+                               max_queue=args.max_queue,
+                               deadline_ms=args.deadline_ms,
+                               shutdown_grace_s=args.shutdown_grace_s)
         print(f"serving on {daemon.url} "
               "(GET /topk /cold /stats /healthz; POST /ingest /swap)",
               file=sys.stderr)
@@ -729,6 +738,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-batch", type=int, default=64,
                          help="daemon: max requests coalesced into one "
                               "blocked topk call")
+    p_serve.add_argument("--max-queue", type=int, default=1024,
+                         help="daemon: admission-queue bound; overflow "
+                              "is shed with 503 + Retry-After")
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         help="daemon: per-request deadline; requests "
+                              "queued past it get 504 instead of a "
+                              "late answer")
+    p_serve.add_argument("--shutdown-grace-s", type=float, default=5.0,
+                         help="daemon: grace period for draining "
+                              "in-flight requests on shutdown")
     p_serve.add_argument("--max-delay-ms", type=float, default=0.0,
                          help="daemon: how long to hold a batch open "
                               "for stragglers (0: drain backlog only)")

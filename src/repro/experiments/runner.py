@@ -20,6 +20,13 @@ from the spec (plus the code-relevant knobs):
 Within a process the runner also memoizes built datasets and trained
 models, replacing the per-process dict caches the benchmark harnesses
 used to hand-roll.
+
+Reads are defensive: every artifact lookup/load retries transient I/O
+faults with seeded-jitter exponential backoff
+(:func:`repro.reliability.retry_call`), and the store quarantines any
+artifact whose content hashes no longer match — the runner then simply
+recomputes the stage, so a corrupted cache entry costs time, never
+correctness.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from dataclasses import dataclass, field
 
 from ..backend import backend_mode
 from ..data.io import load_dataset, save_dataset
+from ..reliability import retry_call
 from ..eval.metrics import MetricResult
 from ..eval.protocol import ScenarioResult, evaluate_model
 from ..train.checkpoint import load_checkpoint, save_checkpoint
@@ -38,6 +46,11 @@ from .scenarios import (apply_dataset_steps, apply_inference_steps,
                         get_scenario)
 from .spec import ExperimentSpec, content_key
 from .store import ArtifactStore, default_store
+
+#: attempts per artifact read (store lookups and archive loads) before
+#: a transient I/O fault is allowed to surface; backoff between tries is
+#: exponential with deterministic seeded jitter
+READ_ATTEMPTS = 3
 
 #: model name -> factory(dataset, embedding_dim=..., seed=..., **kwargs);
 #: lets benchmarks run ad-hoc model variants (e.g. the dynamic-graph
@@ -100,7 +113,18 @@ class Runner:
         self._datasets: dict = {}
         self._models: dict = {}
         self.stats = {"dataset_builds": 0, "train_runs": 0,
-                      "eval_runs": 0}
+                      "eval_runs": 0, "read_retries": 0}
+
+    def _read(self, fn):
+        """One artifact read with transient-fault retries.
+
+        The jitter is drawn from a fresh seed-0 generator per read, so
+        the schedule is deterministic; retries are counted in
+        ``stats["read_retries"]``."""
+        def bump(attempt, exc, delay):
+            self.stats["read_retries"] += 1
+        return retry_call(fn, attempts=READ_ATTEMPTS, base_delay=0.02,
+                          max_delay=0.25, on_retry=bump)
 
     # -- stage 1: dataset -------------------------------------------------
     def _build_dataset(self, spec: ExperimentSpec):
@@ -130,12 +154,15 @@ class Runner:
         if cached is not None and (cached.world is not None
                                    or not require_world):
             return cached
-        committed = None if self.refresh else self.store.get("dataset", key)
+        committed = None if self.refresh else self._read(
+            lambda: self.store.get("dataset", key))
         if committed is not None and not require_world:
-            dataset = load_dataset(committed / "dataset.npz")
+            dataset = self._read(
+                lambda: load_dataset(committed / "dataset.npz"))
         else:
             dataset = self._build_dataset(spec)
-        if self.store.get("dataset", key) is None or self.refresh:
+        if self._read(lambda: self.store.get("dataset", key)) is None \
+                or self.refresh:
             staged = self.store.stage_dir("dataset", key)
             save_dataset(dataset, staged / "dataset.npz")
             self.store.commit("dataset", key, staged, {
@@ -181,13 +208,16 @@ class Runner:
         if key in self._models:
             return self._models[key]
         dataset = self.dataset(spec)
-        committed = None if self.refresh else self.store.get("train", key)
+        committed = None if self.refresh else self._read(
+            lambda: self.store.get("train", key))
         if committed is not None:
             with self._backend_scope(spec):
                 model = self._create_model(spec, model_name, dataset)
-                load_checkpoint(model, committed / "model.npz")
+                self._read(lambda: load_checkpoint(
+                    model, committed / "model.npz"))
             model.eval()
-            meta = self.store.get_meta("train", key)
+            meta = self._read(
+                lambda: self.store.get_meta("train", key))
             result = TrainResult(**meta["result"])
         else:
             self.stats["train_runs"] += 1
@@ -245,7 +275,8 @@ class Runner:
         """Named metric results for one model under the spec's
         inference/eval scenarios (``cold``/``warm`` by default)."""
         key = spec.eval_key(model_name)
-        stored = None if self.refresh else self.store.get_json("eval", key)
+        stored = None if self.refresh else self._read(
+            lambda: self.store.get_json("eval", key))
         if stored is not None:
             return {name: MetricResult(**fields)
                     for name, fields in stored["results"].items()}

@@ -1,0 +1,40 @@
+"""Deterministic reliability substrate: fault injection and retries.
+
+The repo applies one discipline to floating-point work — every
+trajectory is bit-reproducible, so every optimization is *testable* —
+and this package applies the same discipline to failures.  A
+:class:`FaultPlan` is a seeded script of *which* operation fails,
+*when*, and *how* (torn write, silent corruption, raised ``OSError``,
+timeout, slow call, simulated kill); production code exposes named
+injection seams via :func:`fire`, and the same plan seed reproduces the
+identical failure sequence on every run.  Chaos tests
+(``tests/reliability/``) and the CI chaos smoke (``tools/check_chaos.py``)
+drive the seams instead of hand-mangling files.
+
+The other half is the machinery the injected faults force into
+existence: :func:`retry_call` (exponential backoff with deterministic
+jitter, used by the experiment runner's artifact reads and the serving
+smoke client) and the error taxonomy shared by the serving daemon's
+load-shedding path.  See ``docs/RELIABILITY.md``.
+"""
+
+from .faults import (FaultPlan, FaultSpec, InjectedCrash, InjectedError,
+                     InjectedFault, InjectedTimeout, active_plan, fire,
+                     inject, is_injected_crash)
+from .retry import RetryBudgetExceeded, backoff_schedule, retry_call
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedError",
+    "InjectedFault",
+    "InjectedTimeout",
+    "RetryBudgetExceeded",
+    "active_plan",
+    "backoff_schedule",
+    "fire",
+    "inject",
+    "is_injected_crash",
+    "retry_call",
+]

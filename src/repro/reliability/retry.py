@@ -1,0 +1,86 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Transient faults (a flaky read, an injected :class:`InjectedTimeout`, a
+503 from a load-shedding daemon) deserve a bounded number of retries
+with exponentially growing, jittered pauses. The jitter here is drawn
+from a caller-seeded ``np.random.Generator`` so a retry schedule is as
+reproducible as everything else in the repo — the same seed yields the
+identical sequence of delays, which is what lets the chaos suite assert
+timing-dependent behavior exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: the exception classes retried by default — plain I/O errors and
+#: timeouts, which covers the injected fault taxonomy
+#: (:class:`~repro.reliability.InjectedError` is an ``OSError``,
+#: :class:`~repro.reliability.InjectedTimeout` a ``TimeoutError``)
+TRANSIENT = (OSError, TimeoutError)
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """All attempts failed; ``last`` holds the final exception."""
+
+    def __init__(self, message: str, last: BaseException):
+        super().__init__(message)
+        self.last = last
+
+
+def backoff_schedule(attempts: int, base_delay: float = 0.05,
+                     max_delay: float = 2.0, jitter: float = 0.5,
+                     rng: np.random.Generator | None = None) -> list[float]:
+    """The seconds to sleep before each retry (``attempts - 1`` values).
+
+    Delay ``i`` is ``min(base_delay * 2**i, max_delay)`` scaled by a
+    uniform jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from
+    ``rng`` (seed 0 when omitted) — deterministic for a given seed.
+    """
+    rng = np.random.default_rng(0) if rng is None else rng
+    schedule = []
+    for i in range(max(attempts - 1, 0)):
+        delay = min(base_delay * (2.0 ** i), max_delay)
+        factor = 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        schedule.append(delay * factor)
+    return schedule
+
+
+def retry_call(fn, *, attempts: int = 3, base_delay: float = 0.05,
+               max_delay: float = 2.0, jitter: float = 0.5,
+               retry_on: tuple = TRANSIENT,
+               rng: np.random.Generator | None = None,
+               sleep=time.sleep, on_retry=None):
+    """Call ``fn()`` with up to ``attempts`` tries.
+
+    Only exceptions matching ``retry_on`` are retried; anything else
+    (including a :class:`~repro.reliability.InjectedCrash`, which is not
+    an ``Exception``) propagates immediately. When the budget runs out,
+    the last transient exception is re-raised wrapped in
+    :class:`RetryBudgetExceeded` so callers can distinguish "failed
+    after retries" from "failed outright".
+
+    ``on_retry(attempt, exc, delay)`` is invoked before each pause —
+    tests and the smoke tools use it to record the schedule.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    schedule = backoff_schedule(attempts, base_delay, max_delay, jitter,
+                                rng=rng)
+    last: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt == attempts - 1:
+                break
+            delay = schedule[attempt]
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+    raise RetryBudgetExceeded(
+        f"gave up after {attempts} attempt(s): {last}", last) from last

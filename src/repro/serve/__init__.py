@@ -24,19 +24,23 @@ The layers (see ``docs/ARCHITECTURE.md``):
 expose the stack on the command line via :class:`ServingSession`.
 """
 
-from .daemon import MicroBatcher, ServingDaemon
+from .daemon import (DeadlineExceededError, LoadShedError, MicroBatcher,
+                     ServingDaemon)
 from .onboarding import GraphExpansion, expand_item_graph, ingest_items
 from .ranker import (BatchRanker, TopKResult, apply_seen_mask,
                      interactions_to_csr, topk_from_scores)
 from .session import ServingSession
 from .sharding import ShardedRanker
 from .snapshot import Snapshot, SnapshotManager
-from .store import EmbeddingStore
+from .store import CorruptStoreError, EmbeddingStore
 
 __all__ = [
     "BatchRanker",
+    "CorruptStoreError",
+    "DeadlineExceededError",
     "EmbeddingStore",
     "GraphExpansion",
+    "LoadShedError",
     "MicroBatcher",
     "ServingDaemon",
     "ServingSession",

@@ -2,8 +2,8 @@
 
 Two pieces, stdlib only:
 
-* :class:`MicroBatcher` — an admission queue plus one worker thread.
-  Concurrent single-user requests are coalesced into blocked
+* :class:`MicroBatcher` — a **bounded** admission queue plus one worker
+  thread.  Concurrent single-user requests are coalesced into blocked
   :meth:`~repro.serve.ranker.BatchRanker.topk` calls: the worker blocks
   on the first request, then drains whatever else arrived within a
   ``max_delay_ms`` window (up to ``max_batch``), groups compatible
@@ -17,6 +17,23 @@ Two pieces, stdlib only:
   ``/healthz``) on top of a :class:`repro.serve.snapshot.SnapshotManager`.
   Every ranked response carries the snapshot version it was computed on,
   so clients can observe hot-swaps but never a torn mix of versions.
+
+Overload and shutdown are explicit states, not accidents
+(``docs/RELIABILITY.md``):
+
+* when the admission queue is full, :meth:`MicroBatcher.submit` raises
+  :class:`LoadShedError` and the HTTP layer answers **503** with a
+  ``Retry-After`` header — the backlog is bounded by construction;
+* with a per-request ``deadline_ms``, a request that waited in the
+  queue past its deadline is answered **504**
+  (:class:`DeadlineExceededError`) instead of being computed late for
+  nobody;
+* :meth:`ServingDaemon.shutdown` drains first: new work is rejected
+  (503, and ``/healthz`` reports ``draining``), in-flight batches
+  finish inside a grace period, then the server closes;
+* every error response is structured JSON
+  (``{"error": ..., "snapshot_version": ...}``) — the stdlib HTML error
+  page is overridden away.
 """
 
 from __future__ import annotations
@@ -26,13 +43,33 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from ..reliability import fire
 from .snapshot import SnapshotManager
+
+
+class LoadShedError(RuntimeError):
+    """The admission queue is full (or draining); retry later.
+
+    Mapped to HTTP 503 + ``Retry-After`` by the daemon. ``reason`` is
+    ``"queue_full"`` or ``"draining"``.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full",
+                 retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(TimeoutError):
+    """The request's deadline passed before it was served (HTTP 504)."""
 
 
 @dataclass
@@ -42,7 +79,12 @@ class _Request:
     user: int
     k: int
     mode: str                     # "all" or "cold"
+    deadline: float | None = None  # monotonic time; None = no deadline
     future: Future = field(default_factory=Future)
+
+    def expired(self) -> bool:
+        return self.deadline is not None and \
+            time.monotonic() > self.deadline
 
 
 class MicroBatcher:
@@ -63,23 +105,42 @@ class MicroBatcher:
         previous batch computes, so any positive window only adds
         latency; a positive bound helps only when arrivals are sporadic
         and a caller wants bigger batches at a latency price.
+    max_queue:
+        Admission-queue bound.  A submit against a full queue raises
+        :class:`LoadShedError` immediately — overload degrades into
+        explicit 503s, never into an unbounded backlog.
+    deadline_ms:
+        Per-request deadline.  A request still queued when its deadline
+        passes is failed with :class:`DeadlineExceededError` rather than
+        computed late (``None`` disables deadlines).
     """
 
     def __init__(self, manager: SnapshotManager, *, max_batch: int = 64,
-                 max_delay_ms: float = 0.0):
+                 max_delay_ms: float = 0.0, max_queue: int = 1024,
+                 deadline_ms: float | None = None):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if max_delay_ms < 0:
             raise ValueError("max_delay_ms must be non-negative")
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
         self.manager = manager
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
-        self._queue: queue.Queue = queue.Queue()
+        self.max_queue = int(max_queue)
+        self.deadline_ms = deadline_ms
+        self._queue: queue.Queue = queue.Queue(maxsize=self.max_queue)
         self._stats_lock = threading.Lock()
         self.requests = 0
         self.batches = 0
         self.batched_requests = 0
         self.max_observed_batch = 0
+        self.shed = 0
+        self.expired = 0
+        self._outstanding = 0
+        self._draining = threading.Event()
         self._worker = threading.Thread(target=self._run,
                                         name="repro-microbatch",
                                         daemon=True)
@@ -87,15 +148,57 @@ class MicroBatcher:
         self._worker.start()
 
     # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     def submit(self, user: int, k: int, mode: str = "all") -> Future:
-        """Enqueue one request; the future resolves to a response dict."""
+        """Enqueue one request; the future resolves to a response dict.
+
+        Raises :class:`LoadShedError` when the admission queue is full
+        or the batcher is draining — never blocks the caller on a
+        backlog.
+        """
         if mode not in ("all", "cold"):
             raise ValueError(f"unknown mode {mode!r}")
-        request = _Request(user=int(user), k=int(k), mode=mode)
-        self._queue.put(request)
+        if self._draining.is_set():
+            with self._stats_lock:
+                self.shed += 1
+            raise LoadShedError("shutting down: not admitting requests",
+                               reason="draining")
+        deadline = None
+        if self.deadline_ms is not None:
+            deadline = time.monotonic() + self.deadline_ms / 1000.0
+        request = _Request(user=int(user), k=int(k), mode=mode,
+                           deadline=deadline)
+        with self._stats_lock:
+            self._outstanding += 1
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._stats_lock:
+                self._outstanding -= 1
+                self.shed += 1
+            raise LoadShedError(
+                f"admission queue full ({self.max_queue} pending)",
+                reason="queue_full") from None
         return request.future
 
+    def drain(self, grace_s: float = 5.0) -> bool:
+        """Stop admitting new requests and wait (up to ``grace_s``) for
+        the queued + in-flight ones to finish; True when fully drained."""
+        self._draining.set()
+        deadline = time.monotonic() + grace_s
+        while time.monotonic() < deadline:
+            with self._stats_lock:
+                if self._outstanding == 0:
+                    return True
+            time.sleep(0.005)
+        with self._stats_lock:
+            return self._outstanding == 0
+
     def stop(self) -> None:
+        self._draining.set()
         self._stop.set()
         self._queue.put(None)       # wake the worker
         self._worker.join(timeout=5)
@@ -109,10 +212,28 @@ class MicroBatcher:
                 "max_batch_observed": self.max_observed_batch,
                 "mean_batch_size": (self.batched_requests / self.batches
                                     if self.batches else 0.0),
+                "shed": self.shed,
+                "expired": self.expired,
+                "queue_depth": self._queue.qsize(),
+                "outstanding": self._outstanding,
+                "draining": self._draining.is_set(),
             }
 
     # ------------------------------------------------------------------
-    def _drain(self) -> list:
+    def _resolve(self, request: _Request, payload: dict | None = None,
+                 exc: BaseException | None = None) -> None:
+        """Settle one request's future exactly once (drain() watches the
+        outstanding count this maintains)."""
+        if request.future.done():
+            return
+        if exc is not None:
+            request.future.set_exception(exc)
+        else:
+            request.future.set_result(payload)
+        with self._stats_lock:
+            self._outstanding -= 1
+
+    def _drain_batch(self) -> list:
         """Block for the first request, then collect stragglers until
         the delay window closes or the batch is full."""
         first = self._queue.get()
@@ -138,28 +259,46 @@ class MicroBatcher:
 
     def _run(self) -> None:
         while not self._stop.is_set():
-            batch = self._drain()
+            batch = self._drain_batch()
             if not batch:
                 continue
             try:
                 self._serve_batch(batch)
             except BaseException as exc:  # propagate to the waiters
                 for request in batch:
-                    if not request.future.done():
-                        request.future.set_exception(exc)
+                    self._resolve(request, exc=exc)
 
     def _serve_batch(self, batch: list) -> None:
+        # Requests whose deadline passed while queued are failed, not
+        # computed: under overload the work a shed deadline saves is
+        # what lets the survivors meet theirs.
+        live = []
+        for request in batch:
+            if request.expired():
+                with self._stats_lock:
+                    self.expired += 1
+                self._resolve(request, exc=DeadlineExceededError(
+                    f"deadline of {self.deadline_ms}ms passed while "
+                    "queued"))
+            else:
+                live.append(request)
+        if not live:
+            return
+        # Injection seam: a scripted fault here fails (or delays) the
+        # whole batch computation — the chaos suite drives it to prove
+        # clients see clean errors, never torn responses.
+        fire("daemon.batch")
         snapshot = self.manager.current
         groups: dict = {}
-        for request in batch:
+        for request in live:
             groups.setdefault((request.k, request.mode),
                               []).append(request)
         with self._stats_lock:
-            self.requests += len(batch)
+            self.requests += len(live)
             self.batches += len(groups)
-            self.batched_requests += len(batch)
+            self.batched_requests += len(live)
             self.max_observed_batch = max(self.max_observed_batch,
-                                          len(batch))
+                                          len(live))
         for (k, mode), requests in groups.items():
             users = np.array([r.user for r in requests], dtype=np.int64)
             candidates = (snapshot.store.cold_items() if mode == "cold"
@@ -169,10 +308,10 @@ class MicroBatcher:
                                               candidates=candidates)
             except BaseException as exc:
                 for request in requests:
-                    request.future.set_exception(exc)
+                    self._resolve(request, exc=exc)
                 continue
             for row, request in enumerate(requests):
-                request.future.set_result({
+                self._resolve(request, payload={
                     "user": request.user,
                     "k": k,
                     "mode": mode,
@@ -195,33 +334,58 @@ class _Handler(BaseHTTPRequestHandler):
     def daemon(self) -> "ServingDaemon":
         return self.server.serving_daemon  # type: ignore[attr-defined]
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
+    def _reply(self, payload: dict, status: int = 200,
+               headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, message: str, status: int = 400) -> None:
-        self._reply({"error": message}, status=status)
+    def _error(self, message: str, status: int = 400,
+               headers: dict | None = None) -> None:
+        self._reply({"error": message,
+                     "snapshot_version": self.daemon.manager.version},
+                    status=status, headers=headers)
+
+    def send_error(self, code, message=None, explain=None):  # noqa: A002
+        """Structured JSON even for errors the stdlib machinery raises
+        itself (bad request line, unsupported method): no HTML pages."""
+        try:
+            self._error(message or self.responses.get(
+                code, ("error",))[0], status=code)
+        except OSError:
+            pass  # client already gone
+
+    def _dispatch(self, handler, *args) -> None:
+        """Run one endpoint handler, mapping degradation states to their
+        HTTP codes (503 shed / 504 deadline / 500 fallback)."""
+        try:
+            handler(*args)
+        except LoadShedError as exc:
+            self._error(str(exc), status=503, headers={
+                "Retry-After": str(max(int(exc.retry_after_s), 1))})
+        except (DeadlineExceededError, FutureTimeoutError) as exc:
+            self._error(str(exc) or "request deadline exceeded",
+                        status=504)
+        except Exception as exc:
+            self._error(str(exc), status=500)
 
     def do_GET(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
-        try:
-            if parsed.path in ("/topk", "/cold"):
-                self._handle_topk(query, cold=parsed.path == "/cold")
-            elif parsed.path == "/stats":
-                self._reply(self.daemon.stats())
-            elif parsed.path == "/healthz":
-                self._reply({"status": "ok",
-                             "snapshot_version":
-                                 self.daemon.manager.version})
-            else:
-                self._error(f"unknown endpoint {parsed.path}", status=404)
-        except Exception as exc:
-            self._error(str(exc), status=500)
+        if parsed.path in ("/topk", "/cold"):
+            self._dispatch(self._handle_topk, query,
+                           parsed.path == "/cold")
+        elif parsed.path == "/stats":
+            self._dispatch(lambda: self._reply(self.daemon.stats()))
+        elif parsed.path == "/healthz":
+            self._dispatch(self._handle_healthz)
+        else:
+            self._error(f"unknown endpoint {parsed.path}", status=404)
 
     def do_POST(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
@@ -230,17 +394,23 @@ class _Handler(BaseHTTPRequestHandler):
             payload = json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError:
             return self._error("request body is not valid JSON")
-        try:
-            if parsed.path == "/ingest":
-                self._handle_ingest(payload)
-            elif parsed.path == "/swap":
-                self._handle_swap(payload)
-            else:
-                self._error(f"unknown endpoint {parsed.path}", status=404)
-        except Exception as exc:
-            self._error(str(exc), status=500)
+        if parsed.path == "/ingest":
+            self._dispatch(self._handle_ingest, payload)
+        elif parsed.path == "/swap":
+            self._dispatch(self._handle_swap, payload)
+        else:
+            self._error(f"unknown endpoint {parsed.path}", status=404)
 
     # ------------------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        if self.daemon.draining:
+            return self._reply(
+                {"status": "draining",
+                 "snapshot_version": self.daemon.manager.version},
+                status=503, headers={"Retry-After": "1"})
+        self._reply({"status": "ok",
+                     "snapshot_version": self.daemon.manager.version})
+
     def _handle_topk(self, query: dict, cold: bool) -> None:
         if "user" not in query:
             return self._error("missing required parameter 'user'")
@@ -253,11 +423,19 @@ class _Handler(BaseHTTPRequestHandler):
         if not 0 <= user < snapshot.store.num_users:
             return self._error(f"user {user} out of range "
                                f"[0, {snapshot.store.num_users})")
-        future = self.daemon.batcher.submit(user, k,
-                                            mode="cold" if cold else "all")
-        self._reply(future.result(timeout=30))
+        batcher = self.daemon.batcher
+        future = batcher.submit(user, k, mode="cold" if cold else "all")
+        timeout = 30.0
+        if batcher.deadline_ms is not None:
+            # The worker enforces the deadline; the extra second covers
+            # scheduling slop before the failure is propagated.
+            timeout = batcher.deadline_ms / 1000.0 + 1.0
+        self._reply(future.result(timeout=timeout))
 
     def _handle_ingest(self, payload: dict) -> None:
+        if self.daemon.draining:
+            raise LoadShedError("shutting down: not admitting requests",
+                               reason="draining")
         features = payload.get("features")
         if not isinstance(features, dict) or not features:
             return self._error(
@@ -276,6 +454,9 @@ class _Handler(BaseHTTPRequestHandler):
                      "snapshot_version": refreshed.version})
 
     def _handle_swap(self, payload: dict) -> None:
+        if self.daemon.draining:
+            raise LoadShedError("shutting down: not admitting requests",
+                               reason="draining")
         path = payload.get("path")
         if not path:
             return self._error("body must be {'path': ..., 'mmap': bool}")
@@ -291,16 +472,22 @@ class ServingDaemon:
 
     ``port=0`` binds an ephemeral port (the bound port is on
     :attr:`port` after :meth:`start`), which is what the tests and the
-    CI smoke use.
+    CI smoke use. :meth:`shutdown` is graceful by default: drain, then
+    close (``shutdown_grace_s`` bounds the wait).
     """
 
     def __init__(self, manager: SnapshotManager,
                  batcher: MicroBatcher | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 max_batch: int = 64, max_delay_ms: float = 0.0):
+                 max_batch: int = 64, max_delay_ms: float = 0.0,
+                 max_queue: int = 1024,
+                 deadline_ms: float | None = None,
+                 shutdown_grace_s: float = 5.0):
         self.manager = manager
         self.batcher = batcher or MicroBatcher(
-            manager, max_batch=max_batch, max_delay_ms=max_delay_ms)
+            manager, max_batch=max_batch, max_delay_ms=max_delay_ms,
+            max_queue=max_queue, deadline_ms=deadline_ms)
+        self.shutdown_grace_s = float(shutdown_grace_s)
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.serving_daemon = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -317,6 +504,10 @@ class ServingDaemon:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def draining(self) -> bool:
+        return self.batcher.draining
+
     def stats(self) -> dict:
         return {"snapshot_version": self.manager.version,
                 "store": self.manager.current.store.describe(),
@@ -332,7 +523,12 @@ class ServingDaemon:
         """Blocking variant used by ``repro serve --daemon``."""
         self._server.serve_forever()
 
-    def shutdown(self) -> None:
+    def shutdown(self, grace_s: float | None = None) -> None:
+        """Graceful stop: reject new work (503 / ``draining`` health),
+        let in-flight batches finish within the grace period, then close
+        the listener and the worker."""
+        grace = self.shutdown_grace_s if grace_s is None else grace_s
+        self.batcher.drain(grace_s=grace)
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:

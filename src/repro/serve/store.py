@@ -23,11 +23,14 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
 
+from ..reliability import fire, is_injected_crash
 from .ranker import interactions_to_csr
 
 HEADER_KEY = "__store_header__"
@@ -35,6 +38,18 @@ FORMAT_VERSION = 1
 V2_FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 DEFAULT_ITEM_TOPK = 10
+
+
+class CorruptStoreError(ValueError):
+    """A store archive is truncated, torn, or otherwise unreadable.
+
+    Raised by :meth:`EmbeddingStore.load` with the offending path in
+    the message instead of letting a raw ``zipfile.BadZipFile`` (v1) or
+    a missing-file ``OSError`` (v2) propagate — callers (the serving
+    CLI, ``POST /swap``, the chaos harness) get one exception type that
+    means "this snapshot is damaged; do not serve it".
+    """
+
 
 
 class EmbeddingStore:
@@ -203,6 +218,10 @@ class EmbeddingStore:
             json.dumps(self._header(FORMAT_VERSION)).encode("utf-8"),
             dtype=np.uint8)
         np.savez_compressed(path, **arrays)
+        # Injection seam: a "torn" fault here truncates the archive and
+        # simulates the kill that real v1 writes (plain np.savez, no
+        # atomic rename) are exposed to.
+        fire("store.v1.write", path=path)
         return path
 
     def _save_v2(self, path: Path) -> Path:
@@ -217,6 +236,11 @@ class EmbeddingStore:
         try:
             for name, array in self._arrays().items():
                 np.save(staged / f"{name}.npy", array)
+            # Injection seam: a "crash" fault here is a kill after the
+            # arrays but before the manifest — the staged directory must
+            # survive (as a real kill would leave it) and be rejected by
+            # load() as a torn write.
+            fire("store.v2.write", path=staged)
             # Manifest last: a directory without one is recognizably
             # incomplete, never silently loaded.
             (staged / MANIFEST_NAME).write_text(
@@ -224,8 +248,11 @@ class EmbeddingStore:
             if path.exists():
                 shutil.rmtree(path)
             os.replace(staged, path)
-        except BaseException:
-            shutil.rmtree(staged, ignore_errors=True)
+        except BaseException as exc:
+            # A simulated kill leaves the torn staged dir on disk, the
+            # way a real SIGKILL would; ordinary errors clean up.
+            if not is_injected_crash(exc):
+                shutil.rmtree(staged, ignore_errors=True)
             raise
         return path
 
@@ -241,44 +268,69 @@ class EmbeddingStore:
         store serves straight off the page cache.
         """
         path = Path(path)
+        fire("store.read", path=path)
         if path.is_dir():
             return cls._load_v2(path, mmap=mmap)
         if mmap:
             raise ValueError(
                 "format v1 archives are compressed and cannot be "
                 "memory-mapped; re-export with save(format='v2')")
-        with np.load(path, allow_pickle=False) as archive:
-            header = json.loads(
-                archive[HEADER_KEY].tobytes().decode("utf-8"))
-            if header["version"] != FORMAT_VERSION:
-                raise ValueError(
-                    f"unsupported store version {header['version']}")
-            user_vectors = archive["user_vectors"]
-            item_vectors = archive["item_vectors"]
-            indices = archive["seen.indices"]
-            seen = sp.csr_matrix(
-                (np.ones(len(indices), dtype=bool), indices,
-                 archive["seen.indptr"]),
-                shape=(user_vectors.shape[0], item_vectors.shape[0]))
-            return cls(
-                user_vectors=user_vectors,
-                item_vectors=item_vectors,
-                seen=seen,
-                features={m: archive[f"features.{m}"]
-                          for m in header["modalities"]},
-                is_cold=archive["is_cold"],
-                is_ingested=archive["is_ingested"],
-                item_topk=header["item_topk"],
-                metadata=header["metadata"],
-            )
+        # A truncated/torn v1 archive surfaces as BadZipFile (damaged
+        # central directory), EOFError/zlib.error (truncated member),
+        # or KeyError (member missing entirely) depending on where the
+        # write died — all of them mean the same thing to a caller.
+        try:
+            archive_cm = np.load(path, allow_pickle=False)
+        except (zipfile.BadZipFile, EOFError, OSError) as exc:
+            if isinstance(exc, FileNotFoundError):
+                raise
+            raise CorruptStoreError(
+                f"store archive {path} is corrupt or truncated "
+                f"({exc})") from exc
+        with archive_cm as archive:
+            try:
+                header = json.loads(
+                    archive[HEADER_KEY].tobytes().decode("utf-8"))
+                if header["version"] != FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported store version {header['version']}")
+                user_vectors = archive["user_vectors"]
+                item_vectors = archive["item_vectors"]
+                indices = archive["seen.indices"]
+                seen = sp.csr_matrix(
+                    (np.ones(len(indices), dtype=bool), indices,
+                     archive["seen.indptr"]),
+                    shape=(user_vectors.shape[0], item_vectors.shape[0]))
+                return cls(
+                    user_vectors=user_vectors,
+                    item_vectors=item_vectors,
+                    seen=seen,
+                    features={m: archive[f"features.{m}"]
+                              for m in header["modalities"]},
+                    is_cold=archive["is_cold"],
+                    is_ingested=archive["is_ingested"],
+                    item_topk=header["item_topk"],
+                    metadata=header["metadata"],
+                )
+            except (zipfile.BadZipFile, EOFError, KeyError,
+                    zlib.error, json.JSONDecodeError) as exc:
+                raise CorruptStoreError(
+                    f"store archive {path} is corrupt or truncated "
+                    f"({exc})") from exc
 
     @classmethod
     def _load_v2(cls, path: Path, mmap: bool = False) -> "EmbeddingStore":
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.is_file():
-            raise ValueError(f"{path} has no {MANIFEST_NAME}: not a "
-                             "format v2 store (or a torn write)")
-        header = json.loads(manifest_path.read_text())
+            raise CorruptStoreError(
+                f"{path} has no {MANIFEST_NAME}: not a format v2 store "
+                "(or a torn write)")
+        try:
+            header = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorruptStoreError(
+                f"store {path} has an unreadable {MANIFEST_NAME} "
+                f"({exc})") from exc
         if header["version"] != V2_FORMAT_VERSION:
             raise ValueError(f"unsupported store version "
                              f"{header['version']}")
@@ -287,8 +339,13 @@ class EmbeddingStore:
             # Only the big matrices are mapped; flags and CSR index
             # arrays are small and scipy would copy them anyway.
             mode = "r" if (mmap and mapped) else None
-            return np.load(path / f"{name}.npy", mmap_mode=mode,
-                           allow_pickle=False)
+            try:
+                return np.load(path / f"{name}.npy", mmap_mode=mode,
+                               allow_pickle=False)
+            except (FileNotFoundError, EOFError, ValueError) as exc:
+                raise CorruptStoreError(
+                    f"store {path} is missing or has a damaged "
+                    f"{name}.npy ({exc})") from exc
 
         user_vectors = read("user_vectors", True)
         item_vectors = read("item_vectors", True)

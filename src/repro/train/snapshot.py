@@ -29,7 +29,11 @@ epoch's floating-point sequence depends on:
   snapshot.
 
 Snapshots are written atomically (temp file + ``os.replace``), so a
-kill during the write leaves the previous snapshot intact.
+kill during the write leaves the previous snapshot intact. A snapshot
+that is damaged anyway (torn by a kill that beat the rename, bit rot)
+loads as :class:`CorruptSnapshotError`, which the trainer treats as "no
+snapshot": training restarts from scratch — deterministic, so the rerun
+is still bit-exact with an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -37,12 +41,23 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from ..autograd.nn import BatchNorm1d, Module
 from ..autograd.optim import SGD, Adam, Optimizer
+from ..reliability import fire, is_injected_crash
+
+
+class CorruptSnapshotError(ValueError):
+    """The snapshot file exists but cannot be read back.
+
+    Raised (with the offending path) in place of the raw
+    ``zipfile.BadZipFile`` / ``EOFError`` the numpy archive layer
+    produces on a torn or corrupted file."""
 
 FORMAT_VERSION = 1
 HEADER_KEY = "__snapshot_header__"
@@ -248,10 +263,17 @@ def save_training_snapshot(path: str | Path, model: Module, *,
     os.close(fd)
     try:
         np.savez_compressed(tmp, **arrays)
+        # Injection seam: a "torn"/"crash" here is a kill between
+        # writing the temp file and the atomic rename — the previous
+        # snapshot (if any) must stay intact and loadable.
+        fire("train.snapshot.write", path=tmp)
         os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
+    except BaseException as exc:
+        # A simulated kill leaves the temp file behind, as a real kill
+        # would; ordinary failures clean it up.
+        if not is_injected_crash(exc) and os.path.exists(tmp):
             os.unlink(tmp)
+        raise
 
 
 class TrainingSnapshot:
@@ -272,13 +294,24 @@ class TrainingSnapshot:
 
 
 def load_training_snapshot(path: str | Path) -> TrainingSnapshot:
-    with np.load(Path(path), allow_pickle=False) as archive:
-        header = json.loads(archive[HEADER_KEY].tobytes().decode("utf-8"))
-        if header["version"] != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported snapshot version {header['version']}")
-        arrays = {key: archive[key] for key in archive.files
-                  if key != HEADER_KEY}
+    path = Path(path)
+    fire("train.snapshot.read", path=path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(
+                archive[HEADER_KEY].tobytes().decode("utf-8"))
+            if header["version"] != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported snapshot version {header['version']}")
+            arrays = {key: archive[key] for key in archive.files
+                      if key != HEADER_KEY}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, KeyError, zlib.error,
+            json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        raise CorruptSnapshotError(
+            f"training snapshot {path} is corrupt or truncated "
+            f"({exc})") from exc
     return TrainingSnapshot(header, arrays)
 
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..autograd.optim import Adam, clip_grad_norm
 from ..data.datasets import RecDataset
 from ..eval.protocol import evaluate_model
+from ..reliability import fire
 from .early_stopping import EarlyStopping
 from .sampler import BPRSampler
 
@@ -132,14 +133,25 @@ def train_model(model, dataset: RecDataset,
     planner = StepPlanner() if tape_enabled() else None
 
     if snapshot_path is not None and resume and Path(snapshot_path).exists():
-        from .snapshot import load_training_snapshot, \
-            restore_training_snapshot
-        snapshot = load_training_snapshot(snapshot_path)
-        best_state = restore_training_snapshot(
-            snapshot, model, optimizer=optimizer, sampler_rng=rng,
-            stopper=stopper, scheduler=scheduler, result=result,
-            planner=planner)
-        start_epoch = snapshot.epoch + 1
+        from .snapshot import CorruptSnapshotError, \
+            load_training_snapshot, restore_training_snapshot
+        try:
+            snapshot = load_training_snapshot(snapshot_path)
+        except CorruptSnapshotError as exc:
+            # Graceful degradation: a damaged snapshot is treated as no
+            # snapshot. Training is deterministic, so restarting from
+            # scratch still converges to the bit-identical trajectory —
+            # it just costs the lost epochs again.
+            import warnings
+            warnings.warn(f"ignoring corrupt training snapshot: {exc}",
+                          RuntimeWarning, stacklevel=2)
+            Path(snapshot_path).unlink(missing_ok=True)
+        else:
+            best_state = restore_training_snapshot(
+                snapshot, model, optimizer=optimizer, sampler_rng=rng,
+                stopper=stopper, scheduler=scheduler, result=result,
+                planner=planner)
+            start_epoch = snapshot.epoch + 1
 
     base_seconds = result.train_seconds
     start = time.perf_counter()
@@ -196,6 +208,10 @@ def train_model(model, dataset: RecDataset,
                 sampler_rng=rng, stopper=stopper, scheduler=scheduler,
                 result=result, epoch=epoch, best_state=best_state,
                 planner=planner)
+        # Injection seam: a "crash" here simulates a kill right after
+        # the epoch's snapshot landed — the canonical point the chaos
+        # suite interrupts at to prove resume is bit-exact.
+        fire("train.epoch.end")
         if epoch_hook is not None:
             epoch_hook(epoch, model)
         if stopper.should_stop:

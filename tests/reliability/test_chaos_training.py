@@ -1,0 +1,178 @@
+"""Chaos suite for training: injected kills at every snapshot boundary
+must resume bit-exactly; corrupt snapshots degrade to a clean restart.
+
+Builds on the resume machinery proven in tests/train/test_resume.py,
+but drives the kills through fault plans (the ``train.epoch.end`` and
+``train.snapshot.write`` seams) instead of a cooperative epoch hook —
+an injected :class:`InjectedCrash` is a ``BaseException``, so nothing
+in the trainer's recovery paths can accidentally absorb it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_model
+from repro.reliability import FaultPlan, FaultSpec, InjectedCrash, inject
+from repro.train import TrainConfig, train_model
+from repro.train.fingerprint import training_fingerprint
+from repro.train.snapshot import CorruptSnapshotError, \
+    load_training_snapshot
+
+
+def _config(epochs: int = 4) -> TrainConfig:
+    return TrainConfig(epochs=epochs, eval_every=2, batch_size=64,
+                       learning_rate=0.05, patience=10)
+
+
+def _fresh(dataset, name="BPR"):
+    return create_model(name, dataset, embedding_dim=16, seed=0)
+
+
+def _assert_state_equal(left: dict, right: dict, context: str) -> None:
+    assert set(left) == set(right), context
+    for key in left:
+        assert np.array_equal(left[key], right[key]), (context, key)
+
+
+def test_injected_kill_at_every_epoch_boundary_resumes_bit_exact(
+        tiny_dataset, tmp_path):
+    """The tentpole guarantee: for every snapshot boundary, a scripted
+    crash there + resume lands on the reference run's exact bits."""
+    config = _config(epochs=4)
+    reference = _fresh(tiny_dataset)
+    ref_result = train_model(reference, tiny_dataset, config)
+    expected_fp = training_fingerprint(reference, ref_result)
+
+    for kill_epoch in range(1, config.epochs):
+        snapshot = tmp_path / f"kill{kill_epoch}.npz"
+        plan = FaultPlan(
+            [FaultSpec(op="train.epoch.end", kind="crash",
+                       at=kill_epoch)],
+            name=f"kill-after-epoch-{kill_epoch}")
+        victim = _fresh(tiny_dataset)
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                train_model(victim, tiny_dataset, config,
+                            snapshot_path=snapshot)
+        assert [e[1:3] for e in plan.event_log()] == \
+            [("train.epoch.end", "crash")]
+
+        # "new process": fresh model objects, resume from the snapshot
+        resumed = _fresh(tiny_dataset)
+        res_result = train_model(resumed, tiny_dataset, config,
+                                 snapshot_path=snapshot)
+        _assert_state_equal(reference.state_dict(), resumed.state_dict(),
+                            f"kill after epoch {kill_epoch}")
+        assert res_result.losses == ref_result.losses
+        resumed_fp = training_fingerprint(resumed, res_result)
+        assert resumed_fp["combined"] == expected_fp["combined"], \
+            f"fingerprint diverged after kill at epoch {kill_epoch}"
+
+
+def test_same_fault_seed_reproduces_identical_failure_sequence(
+        tiny_dataset, tmp_path):
+    """Acceptance criterion: replaying the same plan over the same run
+    produces the identical event log."""
+    config = _config(epochs=3)
+
+    def one_run(tag):
+        plan = FaultPlan([FaultSpec(op="train.epoch.end", kind="crash",
+                                    at=2)], seed=1234, name="replay")
+        victim = _fresh(tiny_dataset)
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                train_model(victim, tiny_dataset, config,
+                            snapshot_path=tmp_path / f"{tag}.npz")
+        return plan.event_log()
+
+    assert one_run("first") == one_run("second")
+
+
+def test_kill_during_snapshot_write_keeps_previous_snapshot(
+        tiny_dataset, tmp_path):
+    """A torn snapshot *write* may not damage the previous snapshot:
+    the temp-file + rename protocol means resume restarts from the last
+    published epoch."""
+    config = _config(epochs=3)
+    snapshot = tmp_path / "snap.npz"
+    # epoch 1's snapshot lands, epoch 2's write is killed mid-file
+    plan = FaultPlan([FaultSpec(op="train.snapshot.write", kind="torn",
+                                at=2)], name="torn-snapshot-write")
+    victim = _fresh(tiny_dataset)
+    with inject(plan):
+        with pytest.raises(InjectedCrash):
+            train_model(victim, tiny_dataset, config,
+                        snapshot_path=snapshot)
+    # previous snapshot intact and loadable: epoch 0-indexed 0
+    loaded = load_training_snapshot(snapshot)
+    assert loaded.epoch == 0
+    # and resume completes to the reference bits
+    reference = _fresh(tiny_dataset)
+    train_model(reference, tiny_dataset, config)
+    resumed = _fresh(tiny_dataset)
+    train_model(resumed, tiny_dataset, config, snapshot_path=snapshot)
+    _assert_state_equal(reference.state_dict(), resumed.state_dict(),
+                        "resume after torn snapshot write")
+
+
+def test_corrupt_snapshot_raises_structured_error(tiny_dataset, tmp_path):
+    config = _config(epochs=2)
+    snapshot = tmp_path / "snap.npz"
+    model = _fresh(tiny_dataset)
+    train_model(model, tiny_dataset, config, snapshot_path=snapshot)
+    # tear the published snapshot itself (bit rot / partial copy)
+    from repro.reliability.faults import tear_file
+    tear_file(snapshot, keep_fraction=0.4)
+    with pytest.raises(CorruptSnapshotError) as info:
+        load_training_snapshot(snapshot)
+    assert str(snapshot) in str(info.value)
+    assert isinstance(info.value, ValueError)  # back-compat
+
+
+def test_trainer_degrades_gracefully_on_corrupt_snapshot(
+        tiny_dataset, tmp_path):
+    """A damaged snapshot is treated as no snapshot: the trainer warns,
+    restarts from scratch, and (being deterministic) still produces the
+    reference bits."""
+    config = _config(epochs=3)
+    reference = _fresh(tiny_dataset)
+    ref_result = train_model(reference, tiny_dataset, config)
+
+    snapshot = tmp_path / "snap.npz"
+    victim = _fresh(tiny_dataset)
+    plan = FaultPlan([FaultSpec(op="train.epoch.end", kind="crash",
+                                at=1)])
+    with inject(plan):
+        with pytest.raises(InjectedCrash):
+            train_model(victim, tiny_dataset, config,
+                        snapshot_path=snapshot)
+    from repro.reliability.faults import tear_file
+    tear_file(snapshot, keep_fraction=0.3)
+
+    resumed = _fresh(tiny_dataset)
+    with pytest.warns(RuntimeWarning, match="corrupt training snapshot"):
+        res_result = train_model(resumed, tiny_dataset, config,
+                                 snapshot_path=snapshot)
+    _assert_state_equal(reference.state_dict(), resumed.state_dict(),
+                        "restart after corrupt snapshot")
+    assert res_result.losses == ref_result.losses
+
+
+def test_transient_snapshot_read_fault_is_not_swallowed(
+        tiny_dataset, tmp_path):
+    """An injected transient *read* error is not corruption: it must
+    surface (the runner's retry layer handles it), not silently restart
+    training from scratch."""
+    config = _config(epochs=2)
+    snapshot = tmp_path / "snap.npz"
+    model = _fresh(tiny_dataset)
+    train_model(model, tiny_dataset, config, snapshot_path=snapshot)
+
+    plan = FaultPlan([FaultSpec(op="train.snapshot.read", kind="error")])
+    fresh = _fresh(tiny_dataset)
+    with inject(plan):
+        with pytest.raises(OSError):
+            train_model(fresh, tiny_dataset, config,
+                        snapshot_path=snapshot)

@@ -1,0 +1,112 @@
+"""Retry/backoff policy: determinism, budget, and what is retryable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (FaultPlan, FaultSpec, InjectedCrash,
+                               InjectedError, RetryBudgetExceeded,
+                               backoff_schedule, inject, retry_call)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_for_a_seed(self):
+        first = backoff_schedule(5, rng=np.random.default_rng(42))
+        second = backoff_schedule(5, rng=np.random.default_rng(42))
+        assert first == second
+        assert len(first) == 4
+
+    def test_default_seed_is_fixed(self):
+        assert backoff_schedule(4) == backoff_schedule(4)
+
+    def test_exponential_growth_capped(self):
+        schedule = backoff_schedule(8, base_delay=0.1, max_delay=0.4,
+                                    jitter=0.0)
+        assert schedule == pytest.approx(
+            [0.1, 0.2, 0.4, 0.4, 0.4, 0.4, 0.4])
+
+    def test_jitter_bounds(self):
+        schedule = backoff_schedule(50, base_delay=1.0, max_delay=1.0,
+                                    jitter=0.5,
+                                    rng=np.random.default_rng(0))
+        assert all(0.5 <= delay <= 1.5 for delay in schedule)
+
+
+class TestRetryCall:
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        assert retry_call(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_transient_then_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        retries = []
+        result = retry_call(
+            flaky, attempts=3, sleep=lambda _s: None,
+            on_retry=lambda attempt, exc, delay: retries.append(attempt))
+        assert result == "ok"
+        assert retries == [0, 1]
+
+    def test_budget_exhaustion_wraps_last_error(self):
+        def always():
+            raise TimeoutError("still down")
+
+        with pytest.raises(RetryBudgetExceeded) as info:
+            retry_call(always, attempts=3, sleep=lambda _s: None)
+        assert isinstance(info.value.last, TimeoutError)
+        assert "3 attempt" in str(info.value)
+
+    def test_non_transient_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("logic bug")
+
+        with pytest.raises(KeyError):
+            retry_call(broken, attempts=5, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_injected_crash_is_not_retried(self):
+        """A simulated kill must never be absorbed by a retry loop."""
+        plan = FaultPlan([FaultSpec(op="x", kind="crash")])
+        calls = {"n": 0}
+
+        def seamed():
+            calls["n"] += 1
+            from repro.reliability import fire
+            fire("x")
+
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                retry_call(seamed, attempts=5, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_injected_error_is_transient(self):
+        """InjectedError is an OSError, so the default policy retries
+        through a fault window that then closes."""
+        plan = FaultPlan([FaultSpec(op="x", kind="error", times=2)])
+        calls = {"n": 0}
+
+        def seamed():
+            calls["n"] += 1
+            from repro.reliability import fire
+            fire("x")
+            return "recovered"
+
+        with inject(plan):
+            assert retry_call(seamed, attempts=3,
+                              sleep=lambda _s: None) == "recovered"
+        assert calls["n"] == 3
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            retry_call(lambda: 1, attempts=0)

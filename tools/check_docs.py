@@ -40,7 +40,8 @@ def main() -> int:
         if f"``{command}``" not in cli_doc:
             failures.append(f"repro/cli.py docstring does not list the "
                             f"{command!r} subcommand")
-    for doc in ("docs/ARCHITECTURE.md", "docs/REPRODUCING.md"):
+    for doc in ("docs/ARCHITECTURE.md", "docs/RELIABILITY.md",
+                "docs/REPRODUCING.md"):
         if not (ROOT / doc).exists():
             failures.append(f"{doc} is missing")
 

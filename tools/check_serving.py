@@ -24,26 +24,54 @@ import argparse
 import json
 import sys
 import threading
+import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
 import numpy as np
 
+from repro.reliability import backoff_schedule
 from repro.serve import (BatchRanker, EmbeddingStore, ServingDaemon,
                          SnapshotManager)
 
+#: attempts per request; a load-shedding 503 (or a transient transport
+#: error) is retried with jittered exponential backoff, honoring the
+#: daemon's Retry-After header when present
+ATTEMPTS = 4
+
+
+def _fetch(request) -> dict:
+    """One HTTP exchange with shed/transient-aware retries."""
+    delays = backoff_schedule(ATTEMPTS, base_delay=0.05, max_delay=1.0)
+    for attempt in range(ATTEMPTS):
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            if error.code in (503, 504) and attempt < ATTEMPTS - 1:
+                retry_after = error.headers.get("Retry-After")
+                error.close()
+                delay = delays[attempt] if retry_after is None \
+                    else min(float(retry_after), 1.0)
+                time.sleep(delay)
+                continue
+            raise
+        except (urllib.error.URLError, TimeoutError, OSError):
+            if attempt < ATTEMPTS - 1:
+                time.sleep(delays[attempt])
+                continue
+            raise
+
 
 def _get(url: str) -> dict:
-    with urllib.request.urlopen(url, timeout=30) as response:
-        return json.loads(response.read())
+    return _fetch(url)
 
 
 def _post(url: str, body: dict) -> dict:
-    request = urllib.request.Request(
+    return _fetch(urllib.request.Request(
         url, data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"})
-    with urllib.request.urlopen(request, timeout=30) as response:
-        return json.loads(response.read())
+        headers={"Content-Type": "application/json"}))
 
 
 def expected_rankings(store: EmbeddingStore, k: int) -> dict:
