@@ -65,9 +65,25 @@ from ..train.sampler import BPRSampler
 from ..train.trainer import TrainConfig, train_model
 
 
+def peak_rss_mb() -> float:
+    """Process-lifetime peak resident set in MB (``ru_maxrss``).
+
+    Monotonic per process (the kernel's high-water mark never resets),
+    so per-measurement numbers that must not inherit earlier peaks —
+    the build-scaling probes — run in subprocesses
+    (:mod:`repro.analysis.scale_probe`)."""
+    import resource
+    import sys
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    divisor = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return peak / divisor
+
+
 def runtime_columns() -> dict:
     """Render-ready columns naming the runtime a measurement ran under:
-    active backend, parameter dtype, effective BLAS thread count.
+    active backend, parameter dtype, effective BLAS thread count, and
+    the process's peak RSS so far.
 
     Captured at row-*construction* time (every timing dataclass takes it
     as a ``default_factory`` field), i.e. while the measurement's
@@ -77,7 +93,8 @@ def runtime_columns() -> dict:
     info = _runtime_info()
     return {"Backend": info["backend"],
             "Param dtype": info["param_dtype"],
-            "BLAS threads": info["blas_threads"]}
+            "BLAS threads": info["blas_threads"],
+            "Peak RSS (MB)": round(peak_rss_mb(), 1)}
 
 
 @dataclass
@@ -1263,3 +1280,127 @@ def measure_sparse_training_throughput(
             dense_epochs_per_second=dense_eps,
         ))
     return rows
+
+
+# ----------------------------------------------------------------------
+# scaling curves (Table VII addendum): build cost + serving vs size
+# ----------------------------------------------------------------------
+@dataclass
+class BuildScalingRow:
+    """One point of the build-scaling curve: the wall-clock and peak-RSS
+    cost of materializing a benchmark at a given catalog size.
+
+    ``mode`` distinguishes the in-RAM reference build from the chunked
+    out-of-core build; both are measured in dedicated subprocesses
+    (:mod:`repro.analysis.scale_probe`), so each peak RSS is an honest
+    per-build high-water mark, not this process's accumulated one.
+    ``fingerprint`` is the dataset's content hash — equal across modes
+    by the chunked-parity contract, and the CLI gate fails if not.
+    """
+
+    size: str
+    num_users: int
+    num_items: int
+    interactions: int
+    mode: str
+    build_seconds: float
+    build_peak_rss_mb: float
+    fingerprint: str
+    runtime: dict = field(default_factory=runtime_columns)
+
+    @property
+    def interactions_per_second(self) -> float:
+        return self.interactions / max(self.build_seconds, 1e-9)
+
+    def as_row(self) -> dict:
+        return {
+            "Size": self.size,
+            "#Users": self.num_users,
+            "#Items": self.num_items,
+            "#Interactions": self.interactions,
+            "Mode": self.mode,
+            "Build (s)": round(self.build_seconds, 2),
+            "Rows/s": round(self.interactions_per_second, 0),
+            # distinct from the runtime "Peak RSS (MB)" column, which
+            # reports THIS process — the build ran in a subprocess
+            "Build peak RSS (MB)": round(self.build_peak_rss_mb, 1),
+            "Fingerprint": self.fingerprint,
+            **self.runtime,
+        }
+
+
+def _run_scale_probe(args: list) -> dict:
+    """One build probe in a fresh subprocess; returns its JSON report."""
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.scale_probe", *args],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(f"scale probe failed: {proc.stderr.strip()}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_build_scaling(sizes: tuple = ("tiny", "small"),
+                          chunk_rows: int | None = None,
+                          seed: int = 0) -> list[BuildScalingRow]:
+    """Build throughput and peak RSS vs catalog size, in-RAM vs chunked.
+
+    Each (size, mode) point is one subprocess probe.  The in-RAM
+    reference's RSS grows with the catalog; the chunked build's must
+    stay bounded by the chunk size — the curve this addendum exists to
+    show (and the CI job asserts under a ceiling).
+    """
+    from ..data.chunked import DEFAULT_CHUNK_ROWS
+    chunk_rows = chunk_rows or DEFAULT_CHUNK_ROWS
+    rows = []
+    for size in sizes:
+        for mode_args, mode in (
+                ([], "in-RAM"),
+                (["--chunk-rows", str(chunk_rows)],
+                 f"chunked({chunk_rows})")):
+            report = _run_scale_probe(
+                ["--size", size, "--seed", str(seed), *mode_args])
+            rows.append(BuildScalingRow(
+                size=size,
+                num_users=report["num_users"],
+                num_items=report["num_items"],
+                interactions=report["interactions"],
+                mode=mode,
+                build_seconds=report["seconds"],
+                build_peak_rss_mb=report["maxrss_mb"],
+                fingerprint=report["fingerprint"],
+            ))
+    return rows
+
+
+def measure_serving_scaling(num_items: int = 1_000_000,
+                            num_users: int = 4000, dim: int = 64,
+                            shard_counts: tuple = (1, 2, 4, 8),
+                            clients: int = 4,
+                            requests_per_client: int = 8,
+                            k: int = 20,
+                            seed: int = 0) -> list[ServingLatencyRow]:
+    """Serving p50/p99 vs shard count on a catalog where sharding has a
+    workload worth splitting (default: one million items).
+
+    A thin wrapper over :func:`measure_serving_latency` on a
+    :func:`synthetic_serving_store` of the requested catalog size; one
+    round per shard count (the matmuls are long enough that best-of
+    repetition buys little at this scale), no ingest scenario.
+    """
+    store = synthetic_serving_store(num_users=num_users,
+                                    num_items=num_items, dim=dim,
+                                    seed=seed)
+    return measure_serving_latency(
+        store, clients=clients, requests_per_client=requests_per_client,
+        k=k, shard_counts=shard_counts, repeats=1,
+        measure_ingest=False, seed=seed)

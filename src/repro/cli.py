@@ -78,7 +78,17 @@ Commands
     the micro-batched admission queue vs sequential single-user queries
     on a catalog-scale synthetic store, per shard count, with an
     optional ``--min-serving-speedup`` floor (the CI no-regression
-    gate). ``--breakdown`` adds the per-phase
+    gate). ``--scaling`` benchmarks the out-of-core dataset builds
+    instead: build throughput and peak RSS vs catalog size for the
+    in-RAM reference vs the chunked streaming build (each point a
+    dedicated subprocess probe, with a hard fingerprint-parity gate
+    between the two modes), followed by serving p50/p99 vs shard count
+    on a million-item synthetic store (``--serving-scale`` shrinks it;
+    ``--min-serving-speedup`` floors the micro-batched/sequential
+    ratio); ``--scaling-sizes`` picks the size presets,
+    ``--chunk-rows`` the chunk size, and ``--scaling-out`` records the
+    combined tables as the Table-VII scaling addendum.
+    ``--breakdown`` adds the per-phase
     (sample/forward/backward/clip/step/extra) training-step cost table
     for any model, heterogeneous ones included — taped, sparse-untaped,
     and dense columns.
@@ -111,7 +121,9 @@ def _load_dataset(name: str, size: str):
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=DATASETS, default="beauty")
-    parser.add_argument("--size", choices=("tiny", "small", "medium"),
+    parser.add_argument("--size",
+                        choices=("tiny", "small", "medium", "large",
+                                 "xlarge"),
                         default="small")
     parser.add_argument("--epochs", type=int, default=12)
     parser.add_argument("--embedding-dim", type=int, default=32)
@@ -299,6 +311,63 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _bench_scaling(args) -> int:
+    """``bench --scaling``: build cost vs catalog size, then serving
+    latency vs shard count — the recorded Table-VII scaling addendum."""
+    from .analysis.timing import (measure_build_scaling,
+                                  measure_serving_scaling)
+    from .data.chunked import DEFAULT_CHUNK_ROWS
+    sizes = tuple(args.scaling_sizes or ("tiny", "small"))
+    chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
+    build_rows = measure_build_scaling(sizes=sizes,
+                                       chunk_rows=chunk_rows,
+                                       seed=args.seed)
+    build_table = format_table(
+        [row.as_row() for row in build_rows],
+        title="Build scaling: wall-clock and peak RSS vs catalog size "
+              f"(in-RAM reference vs chunked({chunk_rows}))")
+    print(build_table)
+    # Always-on parity gate: the chunked build must be bit-identical
+    # to the in-RAM reference at every measured size.
+    for size in sizes:
+        fingerprints = {row.mode: row.fingerprint
+                        for row in build_rows if row.size == size}
+        if len(set(fingerprints.values())) > 1:
+            print(f"FAIL: chunked build at size {size!r} is not "
+                  f"bit-identical to the in-RAM reference "
+                  f"(fingerprints {fingerprints})", file=sys.stderr)
+            return 1
+    scale = args.serving_scale if args.serving_scale is not None else 1.0
+    num_items = max(int(1_000_000 * scale), 512)
+    serving_rows = measure_serving_scaling(
+        num_items=num_items,
+        num_users=max(int(4000 * scale), 64),
+        shard_counts=tuple(args.shard_counts or (1, 2, 4, 8)),
+        clients=args.clients if args.clients is not None else 4,
+        seed=args.seed)
+    serving_table = format_table(
+        [row.as_row() for row in serving_rows],
+        title=f"Serving latency vs shard count "
+              f"({num_items}-item synthetic store)")
+    print(serving_table)
+    worst = min((row for row in serving_rows
+                 if row.scenario == "topk under load"),
+                key=lambda row: row.speedup)
+    if args.min_serving_speedup is not None \
+            and worst.speedup < args.min_serving_speedup:
+        print(f"FAIL: micro-batched serving at {worst.num_shards} "
+              f"shard(s) is only {worst.speedup:.2f}x the sequential "
+              "single-query baseline, below the --min-serving-speedup "
+              f"floor of {args.min_serving_speedup}", file=sys.stderr)
+        return 1
+    if args.scaling_out:
+        from .eval.reporting import write_text_result
+        written = write_text_result(
+            args.scaling_out, build_table + "\n\n" + serving_table)
+        print(f"scaling addendum written to {written}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .analysis.timing import (breakdown_rows, catalog_dominated_dataset,
                                   measure_backend_training_throughput,
@@ -344,16 +413,34 @@ def cmd_bench(args) -> int:
         print("--num-layers only applies with --backend-compare",
               file=sys.stderr)
         return 2
-    if not args.serving_latency:
+    if not (args.serving_latency or args.scaling):
+        # the serving-side knobs are shared by --serving-latency and
+        # the serving half of --scaling
         for flag, name in ((args.min_serving_speedup,
                             "--min-serving-speedup"),
                            (args.clients, "--clients"),
                            (args.shard_counts, "--shard-counts"),
                            (args.serving_scale, "--serving-scale")):
             if flag is not None:
-                print(f"{name} only applies with --serving-latency",
+                print(f"{name} only applies with --serving-latency "
+                      "or --scaling", file=sys.stderr)
+                return 2
+    if not args.scaling:
+        for flag, name in ((args.scaling_sizes, "--scaling-sizes"),
+                           (args.chunk_rows, "--chunk-rows"),
+                           (args.scaling_out, "--scaling-out")):
+            if flag is not None:
+                print(f"{name} only applies with --scaling",
                       file=sys.stderr)
                 return 2
+    if args.scaling:
+        if args.sparse_compare or args.forward_compare \
+                or args.tape_compare or args.backend_compare \
+                or args.serving_latency:
+            print("--scaling is a separate benchmark; pick one",
+                  file=sys.stderr)
+            return 2
+        return _bench_scaling(args)
     if args.serving_latency:
         if args.sparse_compare or args.forward_compare \
                 or args.tape_compare or args.backend_compare:
@@ -675,7 +762,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_datasets = sub.add_parser("datasets", help="benchmark statistics")
     p_datasets.add_argument("--size", default="small",
-                            choices=("tiny", "small", "medium"))
+                            choices=("tiny", "small", "medium", "large",
+                                     "xlarge"))
     p_datasets.set_defaults(func=cmd_datasets)
 
     p_models = sub.add_parser("models", help="list registered models")
@@ -763,7 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the spec's training epochs "
                             "(default: REPRO_BENCH_EPOCHS or the spec)")
     p_run.add_argument("--size", default=None,
-                       choices=("tiny", "small", "medium"),
+                       choices=("tiny", "small", "medium", "large",
+                                "xlarge"),
                        help="override the spec's dataset size preset "
                             "(default: REPRO_BENCH_SIZE or the spec)")
     p_run.add_argument("--store", default=None,
@@ -856,20 +945,43 @@ def build_parser() -> argparse.ArgumentParser:
                               "on a catalog-scale synthetic store")
     p_bench.add_argument("--min-serving-speedup", type=float,
                          default=None,
-                         help="with --serving-latency: exit nonzero "
-                              "when micro-batched throughput falls "
-                              "below this multiple of the sequential "
-                              "baseline at any shard count")
+                         help="with --serving-latency or --scaling: "
+                              "exit nonzero when micro-batched "
+                              "throughput falls below this multiple of "
+                              "the sequential baseline at any shard "
+                              "count")
     p_bench.add_argument("--clients", type=int, default=None,
-                         help="with --serving-latency: concurrent "
-                              "client threads (default 8)")
+                         help="with --serving-latency or --scaling: "
+                              "concurrent client threads (default 8, "
+                              "or 4 with --scaling)")
     p_bench.add_argument("--shard-counts", type=int, nargs="+",
                          default=None,
-                         help="with --serving-latency: shard counts to "
-                              "sweep (default 1 2 4)")
+                         help="with --serving-latency or --scaling: "
+                              "shard counts to sweep (default 1 2 4, "
+                              "or 1 2 4 8 with --scaling)")
     p_bench.add_argument("--serving-scale", type=float, default=None,
-                         help="with --serving-latency: size multiplier "
-                              "for the synthetic catalog (CI uses 0.5)")
+                         help="with --serving-latency or --scaling: "
+                              "size multiplier for the synthetic "
+                              "catalog (CI uses 0.5, or 0.1 with "
+                              "--scaling)")
+    p_bench.add_argument("--scaling", action="store_true",
+                         help="benchmark the out-of-core dataset "
+                              "builds: wall-clock and peak RSS vs "
+                              "catalog size (in-RAM vs chunked, with a "
+                              "fingerprint-parity gate), then serving "
+                              "p50/p99 vs shard count on a "
+                              "million-item synthetic store")
+    p_bench.add_argument("--scaling-sizes", nargs="+", default=None,
+                         help="with --scaling: scale size presets to "
+                              "measure (default: tiny small)")
+    p_bench.add_argument("--chunk-rows", type=int, default=None,
+                         help="with --scaling: chunk size for the "
+                              "out-of-core build column (default: the "
+                              "library default)")
+    p_bench.add_argument("--scaling-out", default=None,
+                         help="with --scaling: also write the combined "
+                              "tables to this file (the recorded "
+                              "Table-VII scaling addendum)")
     p_bench.add_argument("--breakdown", action="store_true",
                          help="also print the per-phase "
                               "(sample/forward/backward/clip/step) "

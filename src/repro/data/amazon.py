@@ -21,9 +21,14 @@ from .world import WorldConfig
 
 SIZE_PRESETS = {
     # (num_users, num_items) multipliers applied to the base sizes below.
+    # large/xlarge exist for spec compatibility with the out-of-core
+    # "scale" dataset; in-RAM worlds at these multipliers are slow but
+    # still feasible.
     "tiny": 0.5,
     "small": 1.0,
     "medium": 2.0,
+    "large": 4.0,
+    "xlarge": 8.0,
 }
 
 

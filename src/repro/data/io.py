@@ -1,17 +1,36 @@
-"""Dataset serialization: save/load benchmarks as ``.npz`` archives.
+"""Dataset serialization: v1 ``.npz`` archives and v2 mmap directories.
 
 Synthetic benchmarks are cheap to regenerate, but pinning the exact
 arrays to disk makes experiments auditable and lets external tools (or a
 different machine) consume the same benchmark bytes.
+
+Two formats, one logical contract:
+
+* **v1** — a single compressed ``.npz`` archive.  The historical
+  format; small benchmarks keep producing byte-identical archives.
+* **v2** — a directory of raw ``.npy`` arrays plus a ``manifest.json``
+  written LAST (the same manifest-last + atomic-rename discipline as
+  the serving store), so a torn build never publishes and a published
+  directory is always complete.  Arrays load ``mmap_mode="r"`` on
+  request, which is what lets million-scale datasets open without
+  resident copies.
+
+The out-of-core builder (:mod:`repro.data.scale`) streams its arrays
+straight into a :class:`DatasetDirWriter`'s staged directory, so big
+arrays are written exactly once.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
 from pathlib import Path
 
 import numpy as np
 
+from ..reliability import fire, is_injected_crash
 from .datasets import RecDataset
 from .kg_builder import KnowledgeGraph
 from .splits import ColdStartSplit
@@ -20,17 +39,17 @@ _SPLIT_FIELDS = ("warm_items", "cold_items", "train", "warm_val",
                  "warm_test", "cold_val", "cold_test", "cold_val_known",
                  "cold_val_unknown", "cold_test_known", "cold_test_unknown")
 
+#: v2 directory marker, written last — its presence is the commit
+MANIFEST_NAME = "manifest.json"
+DATASET_FORMAT_V2 = 2
 
-def save_dataset(dataset: RecDataset, path: str | Path) -> None:
-    """Write a dataset (split + features + KG) to a compressed archive.
 
-    The generator ``world`` is not stored — it is ground truth for tests,
-    not part of the benchmark contract.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    arrays: dict[str, np.ndarray] = {}
-    header = {
+class CorruptDatasetError(ValueError):
+    """A dataset file/directory is missing, torn, or damaged."""
+
+
+def _dataset_header(dataset: RecDataset) -> dict:
+    return {
         "name": dataset.name,
         "num_users": dataset.num_users,
         "num_items": dataset.num_items,
@@ -42,6 +61,12 @@ def save_dataset(dataset: RecDataset, path: str | Path) -> None:
             "relation_names": list(dataset.kg.relation_names),
         },
     }
+
+
+def _dataset_arrays(dataset: RecDataset) -> dict[str, np.ndarray]:
+    """Name -> array, in the fixed serialization order both formats
+    share (and v1 archives have always used)."""
+    arrays: dict[str, np.ndarray] = {}
     for field in _SPLIT_FIELDS:
         value = getattr(dataset.split, field)
         if value is not None:
@@ -49,33 +74,108 @@ def save_dataset(dataset: RecDataset, path: str | Path) -> None:
     for modality, features in dataset.features.items():
         arrays[f"features.{modality}"] = np.asarray(features)
     arrays["kg.triplets"] = dataset.kg.triplets
+    return arrays
+
+
+class DatasetDirWriter:
+    """Staged, atomically-committed v2 dataset directory.
+
+    Files are assembled in a ``<name>.tmp-<pid>`` sibling; arrays may be
+    added whole (:meth:`add_array`) or streamed directly into
+    :meth:`array_path`.  :meth:`commit` fires the ``dataset.build.write``
+    fault seam, writes the manifest last, and renames into place — the
+    same torn-write discipline as the serving store, so a killed build
+    leaves a staged dir behind, never a half-published dataset.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.staged = self.path.parent \
+            / f"{self.path.name}.tmp-{os.getpid()}"
+        shutil.rmtree(self.staged, ignore_errors=True)
+        self.staged.mkdir()
+        self._names: list[str] = []
+
+    def array_path(self, name: str) -> Path:
+        """Staged file path for an array (for stream writers)."""
+        self._names.append(name)
+        return self.staged / f"{name}.npy"
+
+    def add_array(self, name: str, array: np.ndarray) -> None:
+        np.save(self.array_path(name), np.asarray(array),
+                allow_pickle=False)
+
+    def commit(self, header: dict) -> Path:
+        manifest = dict(header)
+        manifest["format"] = DATASET_FORMAT_V2
+        manifest["arrays"] = list(self._names)
+        try:
+            # Chaos seam: a "crash" here tears the build after the
+            # arrays but before the manifest — the staged dir survives
+            # (like a real kill) and nothing is published.
+            fire("dataset.build.write", path=self.staged)
+            (self.staged / MANIFEST_NAME).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        except BaseException as exc:
+            if not is_injected_crash(exc):
+                self.abort()
+            raise
+        os.replace(self.staged, self.path)
+        return self.path
+
+    def abort(self) -> None:
+        shutil.rmtree(self.staged, ignore_errors=True)
+
+
+def save_dataset(dataset: RecDataset, path: str | Path,
+                 format: str = "v1") -> None:
+    """Write a dataset (split + features + KG) to disk.
+
+    ``format="v1"`` produces the historical compressed ``.npz`` archive
+    (byte-identical to prior releases); ``format="v2"`` produces an
+    mmap-able directory with a manifest written last.  The generator
+    ``world`` is not stored — it is ground truth for tests, not part of
+    the benchmark contract.
+    """
+    path = Path(path)
+    if format == "v2":
+        writer = DatasetDirWriter(path)
+        try:
+            for name, array in _dataset_arrays(dataset).items():
+                writer.add_array(name, array)
+            writer.commit(_dataset_header(dataset))
+        except BaseException as exc:
+            if not is_injected_crash(exc):
+                writer.abort()
+            raise
+        return
+    if format != "v1":
+        raise ValueError(f"unknown dataset format {format!r}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = _dataset_arrays(dataset)
     arrays["__header__"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        json.dumps(_dataset_header(dataset)).encode("utf-8"),
+        dtype=np.uint8)
     np.savez_compressed(path, **arrays)
 
 
-def load_dataset(path: str | Path) -> RecDataset:
-    """Reconstruct a dataset written by :func:`save_dataset`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        header = json.loads(archive["__header__"].tobytes().decode("utf-8"))
-        split_kwargs = {
-            "num_users": header["num_users"],
-            "num_items": header["num_items"],
-        }
-        for field in _SPLIT_FIELDS:
-            key = f"split.{field}"
-            split_kwargs[field] = (archive[key] if key in archive.files
-                                   else None)
-        split = ColdStartSplit(**split_kwargs)
-        features = {m: archive[f"features.{m}"]
-                    for m in header["modalities"]}
-        kg = KnowledgeGraph(
-            triplets=archive["kg.triplets"],
-            num_entities=header["kg"]["num_entities"],
-            num_relations=header["kg"]["num_relations"],
-            num_items=header["kg"]["num_items"],
-            relation_names=tuple(header["kg"]["relation_names"]),
-        )
+def _dataset_from_parts(header: dict, lookup) -> RecDataset:
+    split_kwargs = {
+        "num_users": header["num_users"],
+        "num_items": header["num_items"],
+    }
+    for field in _SPLIT_FIELDS:
+        split_kwargs[field] = lookup(f"split.{field}")
+    split = ColdStartSplit(**split_kwargs)
+    features = {m: lookup(f"features.{m}") for m in header["modalities"]}
+    kg = KnowledgeGraph(
+        triplets=lookup("kg.triplets"),
+        num_entities=header["kg"]["num_entities"],
+        num_relations=header["kg"]["num_relations"],
+        num_items=header["kg"]["num_items"],
+        relation_names=tuple(header["kg"]["relation_names"]),
+    )
     return RecDataset(
         name=header["name"],
         num_users=header["num_users"],
@@ -85,3 +185,87 @@ def load_dataset(path: str | Path) -> RecDataset:
         kg=kg,
         world=None,
     )
+
+
+def _load_v2(path: Path, mmap: bool) -> RecDataset:
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CorruptDatasetError(
+            f"{path} has no {MANIFEST_NAME}: not a format v2 dataset "
+            "directory (or a torn write)")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        raise CorruptDatasetError(
+            f"{path}/{MANIFEST_NAME} is unreadable: {exc}") from exc
+    present = set(manifest.get("arrays", ()))
+
+    def lookup(name: str):
+        if name not in present:
+            return None
+        array_path = path / f"{name}.npy"
+        try:
+            return np.load(array_path, allow_pickle=False,
+                           mmap_mode="r" if mmap else None)
+        except (ValueError, OSError) as exc:
+            raise CorruptDatasetError(
+                f"{array_path} is missing or damaged (manifest lists "
+                f"it): {exc}") from exc
+
+    return _dataset_from_parts(manifest, lookup)
+
+
+def load_dataset(path: str | Path, mmap: bool = False) -> RecDataset:
+    """Reconstruct a dataset written by :func:`save_dataset`.
+
+    Directories load as format v2 (``mmap=True`` maps arrays read-only
+    instead of copying them into RAM); ``.npz`` files load as v1.  A
+    missing or torn v2 directory raises :class:`CorruptDatasetError`
+    naming the path, matching the serving-store contract.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return _load_v2(path, mmap)
+    if not path.exists() and path.suffix != ".npz":
+        raise CorruptDatasetError(
+            f"{path} does not exist: expected a v2 dataset directory "
+            "or a v1 .npz archive")
+    if mmap:
+        raise ValueError("mmap loading requires the v2 directory "
+                         "format; v1 .npz archives are compressed")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(archive["__header__"].tobytes().decode("utf-8"))
+
+        def lookup(name: str):
+            return archive[name] if name in archive.files else None
+
+        return _dataset_from_parts(header, lookup)
+
+
+def dataset_fingerprint(dataset: RecDataset) -> str:
+    """Content hash (16 hex chars) over the dataset's logical bytes.
+
+    Storage-independent: an in-RAM build, a v1 archive roundtrip, and an
+    mmap'd v2 directory of the same dataset all hash identically — the
+    equality the chunked-vs-in-RAM parity gate checks.  Memmapped
+    arrays are hashed in bounded slabs, never copied whole.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(_dataset_header(dataset),
+                             sort_keys=True).encode("utf-8"))
+    for name, array in _dataset_arrays(dataset).items():
+        array = np.ascontiguousarray(array) if array.ndim == 0 \
+            else array
+        digest.update(f"\0{name}|{array.dtype.str}|{array.shape}"
+                      .encode("utf-8"))
+        rows = max(1, (1 << 22) // max(array.dtype.itemsize
+                                       * int(np.prod(array.shape[1:],
+                                                     dtype=np.int64)
+                                             or 1), 1))
+        if array.ndim == 0:
+            digest.update(array.tobytes())
+            continue
+        for start in range(0, array.shape[0], rows):
+            digest.update(np.ascontiguousarray(
+                array[start:start + rows]).tobytes())
+    return digest.hexdigest()[:16]

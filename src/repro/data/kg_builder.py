@@ -220,3 +220,31 @@ def build_knowledge_graph(world: World,
         num_items=num_items,
         entity_labels=labels,
     )
+
+
+def knowledge_graph_from_chunks(chunks, num_entities: int,
+                                num_items: int,
+                                num_relations: int = len(RELATIONS),
+                                relation_names: tuple = RELATIONS
+                                ) -> KnowledgeGraph:
+    """Assemble a :class:`KnowledgeGraph` from streamed triplet chunks.
+
+    Accepts a single ``(n, 3)`` array (including an mmap'd ``.npy`` —
+    passed through without copying, ``__post_init__`` keeps int64
+    memmaps as-is) or any iterable of chunk arrays; dims come from the
+    generator's layout (:func:`repro.data.scale.scale_kg_layout`), not
+    from a scan of the data.
+    """
+    if isinstance(chunks, np.ndarray):
+        triplets = chunks
+    else:
+        parts = [np.asarray(c, dtype=np.int64) for c in chunks]
+        triplets = (np.concatenate(parts) if parts
+                    else np.empty((0, 3), dtype=np.int64))
+    return KnowledgeGraph(
+        triplets=triplets,
+        num_entities=num_entities,
+        num_relations=num_relations,
+        num_items=num_items,
+        relation_names=relation_names,
+    )

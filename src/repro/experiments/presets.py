@@ -80,8 +80,33 @@ def _modality() -> ExperimentSpec:
                     "modality active (Table VIII slice)")
 
 
+def _scale_smoke() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="scale-smoke", dataset="scale", size="tiny",
+        models=("BPR",),
+        train=TrainConfig(epochs=2, eval_every=2, batch_size=512,
+                          learning_rate=0.05),
+        embedding_dim=16,
+        description="chunked out-of-core scale generator through the "
+                    "full pipeline (CI smoke)")
+
+
+def _scaling_sweep() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="scaling-sweep", dataset="scale", size="tiny",
+        models=("BPR",),
+        train=TrainConfig(epochs=2, eval_every=2, batch_size=512,
+                          learning_rate=0.05),
+        embedding_dim=16,
+        sweep=("size", ("tiny", "small")),
+        description="catalog size as a sweep axis over the chunked "
+                    "scale generator")
+
+
 PRESETS = {
     "smoke": _smoke,
+    "scale-smoke": _scale_smoke,
+    "scaling-sweep": _scaling_sweep,
     "quickstart": _quickstart,
     "compare-beauty": lambda: _comparison(
         "compare-beauty", "beauty",

@@ -134,6 +134,17 @@ class Runner:
             from ..data.world import WorldConfig
             dataset = build_dataset("custom",
                                     WorldConfig(**(spec.world or {})))
+        elif spec.dataset == "scale":
+            from ..data.chunked import DEFAULT_CHUNK_ROWS
+            from ..data.scale import build_scale_dataset, scale_config
+            # Always the chunked build at the default chunk size: it is
+            # byte-identical to the in-RAM reference at ANY chunk size
+            # (parity-tested), so the knob never fragments content
+            # addresses — and the build stays memory-bounded at every
+            # size preset.
+            dataset = build_scale_dataset(
+                scale_config(spec.size, **(spec.world or {})),
+                chunk_rows=DEFAULT_CHUNK_ROWS)
         elif spec.dataset == "weixin":
             from ..data import load_weixin
             dataset = load_weixin(size=spec.size)
@@ -157,14 +168,25 @@ class Runner:
         committed = None if self.refresh else self._read(
             lambda: self.store.get("dataset", key))
         if committed is not None and not require_world:
-            dataset = self._read(
-                lambda: load_dataset(committed / "dataset.npz"))
+            if (committed / "dataset.v2").is_dir():
+                # Large (scale-built) datasets commit as v2 directories
+                # and reopen mmap'd — no resident copy of the arrays.
+                dataset = self._read(
+                    lambda: load_dataset(committed / "dataset.v2",
+                                         mmap=True))
+            else:
+                dataset = self._read(
+                    lambda: load_dataset(committed / "dataset.npz"))
         else:
             dataset = self._build_dataset(spec)
         if self._read(lambda: self.store.get("dataset", key)) is None \
                 or self.refresh:
             staged = self.store.stage_dir("dataset", key)
-            save_dataset(dataset, staged / "dataset.npz")
+            if spec.dataset == "scale":
+                save_dataset(dataset, staged / "dataset.v2",
+                             format="v2")
+            else:
+                save_dataset(dataset, staged / "dataset.npz")
             self.store.commit("dataset", key, staged, {
                 "dataset": spec.dataset, "size": spec.size,
                 "name": dataset.name,

@@ -32,8 +32,9 @@ from ..train.trainer import TrainConfig
 #: previously-stored artifacts stale (bit-level results differ)
 PIPELINE_VERSION = 1
 
-#: dataset size presets accepted by the loaders
-SIZES = ("tiny", "small", "medium")
+#: dataset size presets accepted by the loaders (large/xlarge exist only
+#: on the out-of-core ``dataset="scale"`` path)
+SIZES = ("tiny", "small", "medium", "large", "xlarge")
 
 
 def _param_dtype() -> str:
@@ -231,6 +232,16 @@ def expand_sweep(spec: ExperimentSpec) -> list[tuple[object, ExperimentSpec]]:
         return [(None, spec)]
     param, values = spec.sweep
     out = []
+    if param == "size":
+        # Catalog size is a first-class sweep axis: each child is the
+        # same experiment at a different size preset, with its own
+        # content-addressed dataset/train/eval artifacts.
+        for value in values:
+            child = dataclasses.replace(spec, size=value, sweep=())
+            child.name = f"{spec.name}[size={value}]"
+            child.__post_init__()
+            out.append((value, child))
+        return out
     for value in values:
         child = dataclasses.replace(spec, sweep=())
         child.model_kwargs = {

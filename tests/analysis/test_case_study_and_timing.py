@@ -81,7 +81,9 @@ class TestTrainingThroughput:
         assert cells["Model"] == "LightGCN"
         assert set(cells) == {"Model", "Epochs", "Engine (epochs/s)",
                               "Layer-by-layer (epochs/s)", "Fold speedup",
-                              "Backend", "Param dtype", "BLAS threads"}
+                              "Backend", "Param dtype", "BLAS threads",
+                              "Peak RSS (MB)"}
+        assert cells["Peak RSS (MB)"] > 0
         # Runtime context is captured at measurement time.
         assert cells["Backend"] == "reference"
         assert cells["Param dtype"] == "float64"
@@ -129,4 +131,5 @@ class TestServingLatency:
             cells = row.as_row()
             assert cells["Scenario"] == row.scenario
             assert "Backend" in cells and "BLAS threads" in cells
+            assert cells["Peak RSS (MB)"] > 0
         assert rows[-1].ingests > 0

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data import load_dataset, save_dataset
+from repro.data.io import CorruptDatasetError, dataset_fingerprint
 
 
 class TestRoundTrip:
@@ -54,3 +56,95 @@ class TestRoundTrip:
         b = loaded.statistics()
         assert a.num_interactions == b.num_interactions
         assert a.num_triplets == b.num_triplets
+
+
+class TestV2Format:
+    def test_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.v2"
+        save_dataset(tiny_dataset, path, format="v2")
+        loaded = load_dataset(path)
+        assert loaded.name == tiny_dataset.name
+        np.testing.assert_array_equal(loaded.split.train,
+                                      tiny_dataset.split.train)
+        np.testing.assert_array_equal(loaded.kg.triplets,
+                                      tiny_dataset.kg.triplets)
+        np.testing.assert_array_equal(loaded.features["image"],
+                                      tiny_dataset.features["image"])
+
+    def test_mmap_load(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.v2"
+        save_dataset(tiny_dataset, path, format="v2")
+        loaded = load_dataset(path, mmap=True)
+        assert isinstance(loaded.features["text"], np.memmap)
+        np.testing.assert_array_equal(
+            np.asarray(loaded.features["text"]),
+            tiny_dataset.features["text"])
+
+    def test_fingerprint_is_storage_independent(self, tiny_dataset,
+                                                tmp_path):
+        """v1 archive, v2 directory, and mmap'd v2 all hash to the
+        in-memory dataset's fingerprint."""
+        want = dataset_fingerprint(tiny_dataset)
+        v1 = tmp_path / "tiny.npz"
+        v2 = tmp_path / "tiny.v2"
+        save_dataset(tiny_dataset, v1)
+        save_dataset(tiny_dataset, v2, format="v2")
+        assert dataset_fingerprint(load_dataset(v1)) == want
+        assert dataset_fingerprint(load_dataset(v2)) == want
+        assert dataset_fingerprint(load_dataset(v2, mmap=True)) == want
+
+    def test_missing_manifest_raises_naming_the_path(self, tiny_dataset,
+                                                     tmp_path):
+        path = tmp_path / "torn.v2"
+        save_dataset(tiny_dataset, path, format="v2")
+        (path / "manifest.json").unlink()
+        with pytest.raises(CorruptDatasetError) as info:
+            load_dataset(path)
+        assert str(path) in str(info.value)
+
+    def test_missing_array_raises(self, tiny_dataset, tmp_path):
+        path = tmp_path / "torn.v2"
+        save_dataset(tiny_dataset, path, format="v2")
+        (path / "kg.triplets.npy").unlink()
+        with pytest.raises(CorruptDatasetError):
+            load_dataset(path)
+
+    def test_corrupt_error_is_a_value_error(self, tmp_path):
+        """Back-compat: callers catching ValueError keep working."""
+        with pytest.raises(ValueError):
+            load_dataset(tmp_path / "never-written.v2")
+
+    def test_mmap_rejected_for_v1(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        with pytest.raises(ValueError, match="mmap"):
+            load_dataset(path, mmap=True)
+
+    def test_v1_bytes_unchanged_by_the_v2_work(self, tiny_dataset,
+                                               tmp_path):
+        """The v1 writer must stay byte-deterministic — committed
+        artifacts hash the archive bytes."""
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_dataset(tiny_dataset, a)
+        save_dataset(tiny_dataset, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_loaded_v2_trains_bit_identically_to_v1(self, tiny_dataset,
+                                                    tmp_path):
+        from repro.baselines import create_model
+        from repro.train import TrainConfig, train_model
+
+        def fingerprint(dataset):
+            model = create_model("BPR", dataset, embedding_dim=8, seed=0)
+            train_model(model, dataset,
+                        TrainConfig(epochs=1, eval_every=1,
+                                    batch_size=64))
+            return dataset_fingerprint(dataset), {
+                name: value.tobytes()
+                for name, value in model.state_dict().items()}
+
+        v1, v2 = tmp_path / "a.npz", tmp_path / "b.v2"
+        save_dataset(tiny_dataset, v1)
+        save_dataset(tiny_dataset, v2, format="v2")
+        assert fingerprint(load_dataset(v1)) == \
+            fingerprint(load_dataset(v2, mmap=True))

@@ -103,3 +103,30 @@ class TestKCore:
         if len(out):
             _, counts = np.unique(out[:, 0], return_counts=True)
             assert counts.min() >= k
+
+    @staticmethod
+    def _legacy_k_core(interactions, k):
+        """The original per-round boolean-mask loop the vectorized
+        ``bincount`` implementation must equal bit-for-bit."""
+        current = np.asarray(interactions)
+        while True:
+            if len(current) == 0:
+                return current
+            users, counts = np.unique(current[:, 0], return_counts=True)
+            keep = set(users[counts >= k].tolist())
+            mask = np.array([u in keep for u in current[:, 0]])
+            filtered = current[mask]
+            if len(filtered) == len(current):
+                return filtered
+            current = filtered
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=1, max_value=8))
+    def test_bincount_k_core_matches_legacy_loop(self, seed, k):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(0, 120))
+        inter = np.stack([rng.integers(0, 12, rows),
+                          rng.integers(0, 20, rows)], axis=1)
+        np.testing.assert_array_equal(apply_k_core(inter, k=k),
+                                      self._legacy_k_core(inter, k))

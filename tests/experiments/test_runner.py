@@ -218,3 +218,43 @@ class TestWorldHandling:
             assert np.array_equal(loaded.features[modality],
                                   rebuilt.features[modality])
         assert np.array_equal(loaded.kg.triplets, rebuilt.kg.triplets)
+
+
+class TestScaleDatasetStage:
+    """dataset="scale" routes through the chunked out-of-core builder
+    and persists as a mmap-able v2 directory."""
+
+    def _scale_spec(self, **overrides):
+        base = dict(
+            name="scale-tiny", dataset="scale", size="tiny",
+            world={"num_users": 300, "num_items": 200},
+            models=("BPR",), embedding_dim=8,
+            train=TrainConfig(epochs=1, eval_every=1, batch_size=128,
+                              learning_rate=0.05))
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_commits_a_v2_directory_artifact(self, runner):
+        spec = self._scale_spec()
+        runner.run(spec)
+        committed = runner.store.get("dataset", spec.dataset_key())
+        assert committed is not None
+        assert (committed / "dataset.v2" / "manifest.json").exists()
+        assert not (committed / "dataset.npz").exists()
+
+    def test_resume_from_mmap_artifact_is_bit_identical(self, runner,
+                                                        tmp_path):
+        spec = self._scale_spec()
+        fingerprint = runner.run(spec).fingerprint
+        fresh = Runner(ArtifactStore(tmp_path / "store"))
+        rerun = fresh.run(spec)
+        assert fresh.stats["dataset_builds"] == 0
+        assert fresh.stats["train_runs"] == 0
+        assert rerun.fingerprint == fingerprint
+
+    def test_size_sweep_over_scale_datasets(self, runner):
+        from repro.experiments import expand_sweep
+        spec = self._scale_spec(sweep=("size", ("tiny",)))
+        for _value, child in expand_sweep(spec):
+            run = runner.run(child)
+            assert "BPR" in run.results

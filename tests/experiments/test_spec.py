@@ -111,3 +111,17 @@ class TestSweep:
     def test_no_sweep_returns_the_spec_itself(self):
         spec = _spec()
         assert expand_sweep(spec) == [(None, spec)]
+
+    def test_size_sweep_expands_to_size_variants(self):
+        spec = _spec(dataset="scale", size="tiny",
+                     sweep=("size", ("tiny", "small")))
+        children = expand_sweep(spec)
+        assert [child.size for _, child in children] == ["tiny", "small"]
+        for value, child in children:
+            assert not child.sweep
+            assert f"size={value}" in child.name
+        keys = {child.dataset_key() for _, child in children}
+        assert len(keys) == 2  # size is part of the dataset address
+
+    def test_large_sizes_are_valid(self):
+        assert _spec(size="xlarge").size == "xlarge"

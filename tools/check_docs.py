@@ -41,7 +41,7 @@ def main() -> int:
             failures.append(f"repro/cli.py docstring does not list the "
                             f"{command!r} subcommand")
     for doc in ("docs/ARCHITECTURE.md", "docs/RELIABILITY.md",
-                "docs/REPRODUCING.md"):
+                "docs/REPRODUCING.md", "docs/SCALING.md"):
         if not (ROOT / doc).exists():
             failures.append(f"{doc} is missing")
 
